@@ -1,0 +1,53 @@
+"""Figures 2 & 4: week0 savings do not repeat in week1 (>40 % regress)."""
+
+import pytest
+
+from repro.analysis.report import ComparisonRow
+from repro.analysis.stability import run_stability_study
+
+from benchmarks.conftest import record
+
+
+@pytest.fixture(scope="module")
+def study(advisor):
+    return run_stability_study(
+        advisor.engine, advisor.workload, week0_day=0, week1_day=7, max_jobs=24
+    )
+
+
+def test_fig02_latency_stability(benchmark, advisor, study):
+    latency_regression = study.regression_fraction("latency")
+    record(
+        "Fig. 2 — recurring-job latency stability",
+        [
+            ComparisonRow(
+                "week0-improved jobs regressing in week1 (latency)",
+                ">40 %",
+                f"{latency_regression:.0%}",
+                holds=latency_regression > 0.25,
+            ),
+            ComparisonRow("jobs measured", "~hundreds", str(len(study.points))),
+        ],
+    )
+    assert study.points
+    assert latency_regression > 0.2  # single A/B runs are not predictive
+
+    job = advisor.workload.jobs_for_day(0)[0]
+    result = advisor.engine.compile_job(job, use_hints=False)
+    benchmark(lambda: advisor.engine.execute(result, ("bench-f2", 0)))
+
+
+def test_fig04_pnhours_stability(benchmark, study):
+    pn_regression = study.regression_fraction("pnhours")
+    record(
+        "Fig. 4 — recurring-job PNhours stability",
+        [
+            ComparisonRow(
+                "week0-improved jobs regressing in week1 (PNhours)",
+                ">40 % (less than latency)",
+                f"{pn_regression:.0%}",
+                holds=0.0 <= pn_regression <= 1.0,
+            )
+        ],
+    )
+    benchmark(lambda: study.regression_fraction("pnhours"))

@@ -1,0 +1,54 @@
+"""Figures 3 & 5: A/A variance — latency is noisy, PNhours is stable."""
+
+import pytest
+
+from repro.analysis.report import ComparisonRow
+from repro.analysis.variance import run_aa_variance_study
+
+from benchmarks.conftest import record
+
+
+@pytest.fixture(scope="module")
+def study(advisor, day0_jobs):
+    return run_aa_variance_study(advisor.engine, day0_jobs, runs=10, max_jobs=30)
+
+
+def test_fig03_latency_variance(benchmark, advisor, study):
+    above = study.fraction_above(0.05, "latency")
+    heavy_tail = max(study.latency_cv) if study.latency_cv else 0.0
+    record(
+        "Fig. 3 — A/A latency variance",
+        [
+            ComparisonRow(
+                "jobs with >5 % latency variance", ">90 %", f"{above:.0%}", holds=above > 0.8
+            ),
+            ComparisonRow(
+                "heaviest per-job latency CV", ">100 % for a few jobs",
+                f"{heavy_tail:.0%}", holds=heavy_tail > 0.3,
+            ),
+        ],
+    )
+    assert above > 0.7
+
+    job = advisor.workload.jobs_for_day(0)[0]
+    result = advisor.engine.compile_job(job, use_hints=False)
+    benchmark(lambda: advisor.engine.execute(result, ("bench-f3", 1)))
+
+
+def test_fig05_pnhours_variance(benchmark, study):
+    above = study.fraction_above(0.05, "pnhours")
+    record(
+        "Fig. 5 — A/A PNhours variance",
+        [
+            ComparisonRow(
+                "jobs with >5 % PNhours variance", "<50 %", f"{above:.0%}", holds=above < 0.5
+            ),
+            ComparisonRow(
+                "PNhours noisier than latency?", "no (PNhours is the stable metric)",
+                "no" if above < study.fraction_above(0.05, "latency") else "yes",
+                holds=above < study.fraction_above(0.05, "latency"),
+            ),
+        ],
+    )
+    assert above < 0.5
+    benchmark(lambda: study.fraction_above(0.05, "pnhours"))

@@ -1,0 +1,44 @@
+"""Figure 6: estimated-cost improvements do not predict latency improvements."""
+
+import pytest
+
+from repro.analysis.correlation import run_cost_vs_latency_study
+from repro.analysis.report import ComparisonRow
+
+from benchmarks.conftest import record
+
+
+@pytest.fixture(scope="module")
+def study(advisor):
+    return run_cost_vs_latency_study(
+        advisor.engine, advisor.workload, days=range(0, 5), target_jobs=200
+    )
+
+
+def test_fig06_no_correlation(benchmark, advisor, study):
+    correlation = study.correlation
+    regression_rate = study.regression_fraction_among_best(quantile=0.5)
+    record(
+        "Fig. 6 — estimated cost delta vs latency delta",
+        [
+            ComparisonRow(
+                "correlation(est-cost delta, latency delta)",
+                "none (visually flat)",
+                f"r = {correlation:.2f}",
+                holds=abs(correlation) < 0.4,
+            ),
+            ComparisonRow(
+                "best-cost-delta jobs with latency regression",
+                ">40 %",
+                f"{regression_rate:.0%}",
+                holds=regression_rate > 0.25,
+            ),
+            ComparisonRow("lower-cost flips A/B tested", "950", str(len(study.cost_deltas))),
+        ],
+    )
+    assert len(study.cost_deltas) >= 50
+    assert abs(correlation) < 0.5
+    assert regression_rate > 0.2
+
+    compiled = advisor.engine.compile(advisor.workload.jobs_for_day(0)[0].script)
+    benchmark(lambda: advisor.engine.optimize(compiled).est_cost)

@@ -1,0 +1,50 @@
+"""Figures 7 & 8: DataRead/DataWritten deltas correlate with PNhours delta."""
+
+import pytest
+
+from repro.analysis.correlation import run_io_correlation_study
+from repro.analysis.report import ComparisonRow
+
+from benchmarks.conftest import record
+
+
+@pytest.fixture(scope="module")
+def study(flight_corpus):
+    return run_io_correlation_study(flight_corpus)
+
+
+def test_fig07_dataread_vs_pnhours(benchmark, study):
+    slope, _ = study.read_trend()
+    record(
+        "Fig. 7 — DataRead delta vs PNhours delta",
+        [
+            ComparisonRow(
+                "correlation", "positive trend", f"r = {study.read_correlation:.2f}",
+                holds=study.read_correlation > 0.15,
+            ),
+            ComparisonRow(
+                "1-D polynomial trend slope", "positive", f"{slope:.3f}", holds=slope > 0
+            ),
+        ],
+    )
+    assert study.read_correlation > 0.1
+    assert slope > 0
+    benchmark(study.read_trend)
+
+
+def test_fig08_datawritten_vs_pnhours(benchmark, study):
+    slope, _ = study.written_trend()
+    record(
+        "Fig. 8 — DataWritten delta vs PNhours delta",
+        [
+            ComparisonRow(
+                "correlation", "positive trend", f"r = {study.written_correlation:.2f}",
+                holds=study.written_correlation > 0.15,
+            ),
+            ComparisonRow(
+                "1-D polynomial trend slope", "positive", f"{slope:.3f}", holds=slope > 0
+            ),
+        ],
+    )
+    assert study.written_correlation > 0.05
+    benchmark(study.written_trend)

@@ -1,0 +1,44 @@
+"""Figure 9: the validation model's predicted vs actual PNhours delta.
+
+Paper: of the test-week jobs predicted below −0.1, 85 % land below −0.1
+and 91 % land below 0.
+"""
+
+import pytest
+
+from repro.analysis.report import ComparisonRow
+from repro.core.validate import ValidationModel
+
+from benchmarks.conftest import record
+
+
+def test_fig09_validation_model(benchmark, advisor, flight_corpus):
+    model = advisor.pipeline.validation_model
+    usable = ValidationModel.usable(flight_corpus)
+    midpoint = 30 + 5  # corpus spans days 30-39; later half is the test week
+    test = [r for r in usable if r.day >= midpoint]
+    stats = model.evaluate(test)
+    hit_01 = stats.get("hit_rate_minus_0_1", float("nan"))
+    hit_0 = stats.get("hit_rate_zero", float("nan"))
+    record(
+        "Fig. 9 — validation model accuracy (test week)",
+        [
+            ComparisonRow(
+                "predicted < −0.1 that are actually < −0.1",
+                "85 %",
+                f"{hit_01:.0%}" if stats.get("selected") else "n/a (none selected)",
+                holds=(stats.get("selected", 0) > 0 and hit_01 >= 0.6) or None,
+            ),
+            ComparisonRow(
+                "predicted < −0.1 that are actually < 0",
+                "91 %",
+                f"{hit_0:.0%}" if stats.get("selected") else "n/a",
+                holds=(stats.get("selected", 0) > 0 and hit_0 >= 0.7) or None,
+            ),
+            ComparisonRow("test-week flights", "150 jobs/day", f"{stats['samples']:.0f}"),
+        ],
+    )
+    assert stats["samples"] >= 20
+    if stats.get("selected", 0) >= 3:
+        assert hit_0 >= 0.6
+    benchmark(lambda: model.evaluate(test))

@@ -1,0 +1,40 @@
+"""Table 2: aggregate pre-production reductions on hint-matched jobs.
+
+Paper: PNhours −14.3 %, latency −8.9 %, vertices −52.8 % over ~70 jobs.
+"""
+
+import pytest
+
+from repro.analysis.aggregate import measure_hinted_day
+from repro.analysis.report import ComparisonRow
+
+from benchmarks.conftest import record
+
+
+def test_table2_aggregate_reductions(benchmark, advisor, deployment_result):
+    result = deployment_result
+    record(
+        "Table 2 — aggregate reductions (hinted vs default)",
+        [
+            ComparisonRow(
+                "PNhours", "−14.3 %", f"{result.pnhours_reduction:+.1%}",
+                holds=result.pnhours_reduction < 0,
+            ),
+            ComparisonRow(
+                "Latency", "−8.9 %", f"{result.latency_reduction:+.1%}",
+                holds=result.latency_reduction < 0.05,
+            ),
+            ComparisonRow(
+                "Vertices", "−52.8 %", f"{result.vertices_reduction:+.1%}",
+                holds=result.vertices_reduction <= 0,
+            ),
+            ComparisonRow("matched jobs", "70", str(result.matched_jobs)),
+            ComparisonRow("active hints", "n/a", str(result.active_hints)),
+        ],
+    )
+    assert result.matched_jobs > 0, "the pipeline deployed no hints"
+    assert result.pnhours_reduction < 0.0
+
+    benchmark.pedantic(
+        lambda: measure_hinted_day(advisor, day=20), rounds=1, iterations=1
+    )

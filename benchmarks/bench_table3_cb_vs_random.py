@@ -1,0 +1,70 @@
+"""Table 3: contextual-bandit vs uniformly-random rule flips.
+
+Paper: CB lower-cost 34.5 % vs 10.6 % (≈3×), higher-cost 19.5 % vs 36.0 %,
+recompile failures 13.9 % vs 18.0 %, total estimated cost ÷>100.
+"""
+
+import pytest
+
+from repro.analysis.report import ComparisonRow
+from repro.analysis.table3 import run_table3_experiment
+
+from benchmarks.conftest import record
+
+
+@pytest.fixture(scope="module")
+def result(advisor):
+    return run_table3_experiment(
+        advisor.engine,
+        advisor.workload,
+        training_days=range(0, 8),
+        eval_days=range(8, 14),
+    )
+
+
+def test_table3_cb_vs_random(benchmark, result):
+    random, bandit = result.random, result.bandit
+    lower_gain = (
+        bandit.fraction("lower") / random.fraction("lower")
+        if random.fraction("lower")
+        else float("inf")
+    )
+    record(
+        "Table 3 — random vs contextual-bandit rule flips",
+        [
+            ComparisonRow(
+                "random: lower/equal/higher/fail",
+                "10.6 / 35.4 / 36.0 / 18.0 %",
+                f"{random.fraction('lower'):.0%} / {random.fraction('equal'):.0%} / "
+                f"{random.fraction('higher'):.0%} / {random.fraction('failures'):.0%}",
+            ),
+            ComparisonRow(
+                "CB: lower/equal/higher/fail",
+                "34.5 / 32.1 / 19.5 / 13.9 %",
+                f"{bandit.fraction('lower'):.0%} / {bandit.fraction('equal'):.0%} / "
+                f"{bandit.fraction('higher'):.0%} / {bandit.fraction('failures'):.0%}",
+            ),
+            ComparisonRow(
+                "CB lower-cost gain over random", "≈3×", f"{lower_gain:.1f}×",
+                holds=lower_gain > 1.5,
+            ),
+            ComparisonRow(
+                "CB fewer recompile failures", "yes",
+                "yes" if bandit.fraction("failures") <= random.fraction("failures") else "no",
+                holds=bandit.fraction("failures") <= random.fraction("failures"),
+            ),
+            ComparisonRow(
+                "total est cost, random / CB", ">100× (1.7e11 → 1.0e9)",
+                f"{result.cost_improvement_factor:.0f}×",
+                holds=result.cost_improvement_factor > 3,
+            ),
+            ComparisonRow(
+                "jobs with non-empty span", "≈66 %",
+                f"{result.steerable_fraction:.0%}",
+                holds=0.4 < result.steerable_fraction < 0.9,
+            ),
+        ],
+    )
+    assert lower_gain > 1.5
+    assert result.cost_improvement_factor >= 1.0
+    benchmark(lambda: result.cost_improvement_factor)

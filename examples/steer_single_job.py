@@ -1,0 +1,100 @@
+"""Steer a single hand-written SCOPE job: spans, flips and plans.
+
+Shows the substrate directly: write a script, compile it, inspect the rule
+signature and the job span, flip a rule, and compare the physical plans and
+simulated runtime metrics.
+
+    python examples/steer_single_job.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig
+from repro.core.spans import SpanComputer
+from repro.errors import ScopeError
+from repro.scope.catalog import Catalog, ColumnStats, TableDef
+from repro.scope.engine import ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.rules.base import RuleFlip
+from repro.scope.types import Column, DataType, Schema
+
+SCRIPT = """
+clicks = EXTRACT user_id:long, market:int, revenue:double FROM "/shares/data/clicks.ss";
+users = EXTRACT user_id:long, tier:int FROM "/shares/data/users.ss";
+paid = SELECT c.user_id AS uid, c.market AS market, c.revenue AS revenue
+       FROM clicks AS c JOIN users AS u ON c.user_id == u.user_id
+       WHERE c.revenue > 5.0;
+report = SELECT market, COUNT(*) AS clicks_count, SUM(revenue) AS total
+         FROM paid GROUP BY market;
+OUTPUT report TO "/shares/output/report.ss";
+"""
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog(stats_seed=1, stats_staleness_sigma=0.1)
+    catalog.add_table(
+        TableDef(
+            "clicks",
+            Schema([
+                Column("user_id", DataType.LONG),
+                Column("market", DataType.INT),
+                Column("revenue", DataType.DOUBLE),
+            ]),
+            80_000_000,
+            {
+                "user_id": ColumnStats(0, 5e6, 4_000_000),
+                "market": ColumnStats(0, 60, 60),
+                "revenue": ColumnStats(0, 100, 10_000),
+            },
+        )
+    )
+    catalog.add_table(
+        TableDef(
+            "users",
+            Schema([Column("user_id", DataType.LONG), Column("tier", DataType.INT)]),
+            5_000_000,
+            {"user_id": ColumnStats(0, 5e6, 5_000_000), "tier": ColumnStats(0, 5, 5)},
+        )
+    )
+    return catalog
+
+
+def main() -> None:
+    engine = ScopeEngine(build_catalog(), SimulationConfig(seed=3))
+    job = JobInstance("demo-1", "demo-template", "demo", SCRIPT, day=0)
+
+    default = engine.compile_job(job)
+    print("=== default plan ===")
+    print(default.plan.pretty())
+    names = sorted(engine.registry.rule(i).name for i in default.signature_ids)
+    print(f"\nestimated cost: {default.est_cost:.1f}")
+    print(f"rule signature: {', '.join(names)}")
+
+    span = SpanComputer(engine).compute(job.script)
+    print(f"\njob span ({len(span)} rules):")
+    for rule_id in sorted(span):
+        rule = engine.registry.rule(rule_id)
+        print(f"  #{rule_id:2d} {rule.name} [{rule.category.value}]")
+
+    baseline_metrics = engine.execute(default, ("demo", 0))
+    print(f"\ndefault run: {baseline_metrics.summary()}")
+
+    print("\n=== trying every span flip ===")
+    for rule_id in sorted(span):
+        flip = RuleFlip(rule_id, not engine.default_config.is_enabled(rule_id))
+        label = flip.describe(engine.registry)
+        try:
+            result = engine.compile_job(job, flip)
+        except ScopeError:
+            print(f"  {label:55s} -> recompilation FAILED")
+            continue
+        metrics = engine.execute(result, ("demo", 1))
+        cost_delta = result.est_cost / default.est_cost - 1.0
+        pn_delta = metrics.pnhours / baseline_metrics.pnhours - 1.0
+        print(
+            f"  {label:55s} -> est cost {cost_delta:+7.1%}, PNhours {pn_delta:+7.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

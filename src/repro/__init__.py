@@ -1,0 +1,39 @@
+"""QO-Advisor: a steered query optimizer over a SCOPE-like substrate.
+
+A from-scratch reproduction of *"Deploying a Steered Query Optimizer in
+Production at Microsoft"* (SIGMOD 2022): the full QO-Advisor pipeline —
+contextual-bandit rule recommendation, recompilation, flighting,
+regression-guard validation and SIS hint deployment — together with every
+substrate it needs: a SCOPE-like scripting language, a cascades optimizer
+with rule signatures, a distributed runtime simulator with a calibrated
+cloud-variance model, a Flighting Service, and an Azure-Personalizer-like
+contextual decision service.
+
+Quickstart::
+
+    from repro import QOAdvisor, SimulationConfig
+
+    advisor = QOAdvisor(SimulationConfig(seed=7))
+    advisor.bootstrap(start_day=0)          # 14-day validation corpus
+    reports = advisor.simulate(start_day=14, days=7)
+    print(reports[-1].outcome_counts())
+"""
+
+from repro.config import SimulationConfig
+from repro.core.advisor import QOAdvisor
+from repro.core.pipeline import DayReport, QOAdvisorPipeline
+from repro.scope.engine import ScopeEngine
+from repro.workload.generator import Workload, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QOAdvisor",
+    "QOAdvisorPipeline",
+    "DayReport",
+    "ScopeEngine",
+    "SimulationConfig",
+    "Workload",
+    "build_workload",
+    "__version__",
+]

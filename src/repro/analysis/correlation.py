@@ -1,0 +1,136 @@
+"""Correlation studies (paper §5.2–§5.3, Figures 6, 7 and 8).
+
+* :func:`run_cost_vs_latency_study` — Fig. 6: flips with *lower estimated
+  cost* are A/B-tested; the paper finds no real correlation between
+  estimated-cost delta and latency delta, with >40 % of the best-looking
+  flips regressing.
+* :func:`run_io_correlation_study` — Figs. 7/8: over a flight corpus,
+  DataRead/DataWritten deltas *do* correlate with the PNhours delta — the
+  physical basis of the Validation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spans import SpanComputer
+from repro.errors import ScopeError
+from repro.flighting.results import FlightResult, FlightStatus
+from repro.ml.stats import pearson_r, polynomial_trend
+from repro.scope.engine import ScopeEngine
+from repro.scope.optimizer.rules.base import RuleFlip
+from repro.scope.runtime.metrics import relative_delta
+from repro.workload.generator import Workload
+
+__all__ = [
+    "CostLatencyStudy",
+    "run_cost_vs_latency_study",
+    "IoCorrelationStudy",
+    "run_io_correlation_study",
+]
+
+
+@dataclass
+class CostLatencyStudy:
+    """(estimated-cost delta, latency delta) scatter of Fig. 6."""
+
+    cost_deltas: list[float] = field(default_factory=list)
+    latency_deltas: list[float] = field(default_factory=list)
+
+    @property
+    def correlation(self) -> float:
+        return pearson_r(self.cost_deltas, self.latency_deltas)
+
+    def regression_fraction_among_best(self, quantile: float = 0.5) -> float:
+        """Fraction of jobs in the best cost-delta half that regress latency."""
+        if not self.cost_deltas:
+            return 0.0
+        costs = np.asarray(self.cost_deltas)
+        lats = np.asarray(self.latency_deltas)
+        cutoff = np.quantile(costs, quantile)
+        best = costs <= cutoff
+        if not best.any():
+            return 0.0
+        return float((lats[best] > 0.0).mean())
+
+
+def run_cost_vs_latency_study(
+    engine: ScopeEngine,
+    workload: Workload,
+    days: range,
+    target_jobs: int = 300,
+) -> CostLatencyStudy:
+    """Collect cost-improving flips over several days and A/B their latency."""
+    spans = SpanComputer(engine)
+    study = CostLatencyStudy()
+    for day in days:
+        if len(study.cost_deltas) >= target_jobs:
+            break
+        for job in workload.jobs_for_day(day):
+            if len(study.cost_deltas) >= target_jobs:
+                break
+            span = spans.span_for_template(job.template_id, job.script)
+            if not span:
+                continue
+            try:
+                compiled = engine.compile(job.script)
+                default_result = engine.optimize(compiled)
+            except ScopeError:
+                continue
+            for rule_id in sorted(span):
+                flip = RuleFlip(rule_id, not engine.default_config.is_enabled(rule_id))
+                try:
+                    result = engine.optimize(
+                        compiled, flip.apply_to(engine.default_config)
+                    )
+                except ScopeError:
+                    continue
+                if result.est_cost >= default_result.est_cost:
+                    continue
+                base_m = engine.execute(default_result, ("f6a", job.job_id, rule_id))
+                treat_m = engine.execute(result, ("f6b", job.job_id, rule_id))
+                study.cost_deltas.append(
+                    result.est_cost / default_result.est_cost - 1.0
+                )
+                study.latency_deltas.append(
+                    relative_delta(treat_m.latency_s, base_m.latency_s)
+                )
+    return study
+
+
+@dataclass
+class IoCorrelationStudy:
+    """(DataRead delta, DataWritten delta, PNhours delta) triples (Figs. 7-8)."""
+
+    data_read_deltas: list[float] = field(default_factory=list)
+    data_written_deltas: list[float] = field(default_factory=list)
+    pnhours_deltas: list[float] = field(default_factory=list)
+
+    @property
+    def read_correlation(self) -> float:
+        return pearson_r(self.data_read_deltas, self.pnhours_deltas)
+
+    @property
+    def written_correlation(self) -> float:
+        return pearson_r(self.data_written_deltas, self.pnhours_deltas)
+
+    def read_trend(self) -> np.ndarray:
+        """The 1-D polynomial trend line the paper draws in Fig. 7."""
+        return polynomial_trend(self.data_read_deltas, self.pnhours_deltas)
+
+    def written_trend(self) -> np.ndarray:
+        return polynomial_trend(self.data_written_deltas, self.pnhours_deltas)
+
+
+def run_io_correlation_study(corpus: list[FlightResult]) -> IoCorrelationStudy:
+    """Assemble the study from a flighting corpus (successful flights only)."""
+    study = IoCorrelationStudy()
+    for result in corpus:
+        if result.status is not FlightStatus.SUCCESS:
+            continue
+        study.data_read_deltas.append(min(result.data_read_delta, 2.0))
+        study.data_written_deltas.append(min(result.data_written_delta, 2.0))
+        study.pnhours_deltas.append(result.pnhours_delta)
+    return study

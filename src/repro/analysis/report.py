@@ -1,0 +1,26 @@
+"""Text rendering of paper-vs-measured comparisons for the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonRow", "render_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One line of a paper-vs-measured table."""
+
+    name: str
+    paper: str
+    measured: str
+    holds: bool | None = None
+
+    def render(self) -> str:
+        mark = "" if self.holds is None else ("  [shape holds]" if self.holds else "  [MISMATCH]")
+        return f"  {self.name:<46s} paper: {self.paper:<18s} measured: {self.measured}{mark}"
+
+
+def render_comparison(title: str, rows: list[ComparisonRow]) -> str:
+    lines = [f"== {title} ==", *(row.render() for row in rows)]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Recurring-job stability study (paper §5.1, Figures 2 and 4).
+
+For each recurring job with an improving flip, measure the A/B delta in
+week 0 and again on the same template's instance one week later.  The
+paper finds that >40 % of jobs that improved in week 0 regress in week 1 —
+single A/B runs do not predict future behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.spans import SpanComputer
+from repro.errors import ScopeError
+from repro.scope.engine import ScopeEngine
+from repro.scope.optimizer.rules.base import RuleFlip
+from repro.scope.runtime.metrics import relative_delta
+from repro.workload.generator import Workload
+
+__all__ = ["StabilityPoint", "StabilityStudy", "run_stability_study"]
+
+
+@dataclass(frozen=True)
+class StabilityPoint:
+    """One job's (week0, week1) metric deltas."""
+
+    template_id: str
+    week0_latency: float
+    week1_latency: float
+    week0_pnhours: float
+    week1_pnhours: float
+
+
+@dataclass
+class StabilityStudy:
+    points: list[StabilityPoint] = field(default_factory=list)
+
+    def regression_fraction(self, metric: str = "latency") -> float:
+        """Among jobs that improved in week0, the fraction regressing in week1."""
+        improved = [p for p in self.points if self._week0(p, metric) < 0.0]
+        if not improved:
+            return 0.0
+        regressed = [p for p in improved if self._week1(p, metric) > 0.0]
+        return len(regressed) / len(improved)
+
+    @staticmethod
+    def _week0(point: StabilityPoint, metric: str) -> float:
+        return point.week0_latency if metric == "latency" else point.week0_pnhours
+
+    @staticmethod
+    def _week1(point: StabilityPoint, metric: str) -> float:
+        return point.week1_latency if metric == "latency" else point.week1_pnhours
+
+
+def _improving_flip(
+    engine: ScopeEngine, script: str, span: frozenset[int]
+) -> RuleFlip | None:
+    """First span flip whose recompilation lowers the estimated cost."""
+    try:
+        compiled = engine.compile(script)
+        default_cost = engine.optimize(compiled).est_cost
+    except ScopeError:
+        return None
+    for rule_id in sorted(span):
+        flip = RuleFlip(rule_id, not engine.default_config.is_enabled(rule_id))
+        try:
+            cost = engine.optimize(compiled, flip.apply_to(engine.default_config)).est_cost
+        except ScopeError:
+            continue
+        if cost < default_cost:
+            return flip
+    return None
+
+
+def run_stability_study(
+    engine: ScopeEngine,
+    workload: Workload,
+    week0_day: int,
+    week1_day: int,
+    max_jobs: int | None = None,
+) -> StabilityStudy:
+    """A/B each improving flip on its week0 and week1 instances."""
+    spans = SpanComputer(engine)
+    study = StabilityStudy()
+    week0_jobs = {j.template_id: j for j in workload.jobs_for_day(week0_day)}
+    week1_jobs = {j.template_id: j for j in workload.jobs_for_day(week1_day)}
+    count = 0
+    for template_id in sorted(week0_jobs):
+        if max_jobs is not None and count >= max_jobs:
+            break
+        if template_id not in week1_jobs:
+            continue
+        job0 = week0_jobs[template_id]
+        span = spans.span_for_template(template_id, job0.script)
+        if not span:
+            continue
+        flip = _improving_flip(engine, job0.script, span)
+        if flip is None:
+            continue
+        deltas = []
+        ok = True
+        for week, (job, day) in enumerate(
+            [(job0, week0_day), (week1_jobs[template_id], week1_day)]
+        ):
+            workload.advance_to_day(day)
+            try:
+                base = engine.compile_job(job, use_hints=False)
+                treat = engine.compile_job(job, flip, use_hints=False)
+            except ScopeError:
+                ok = False
+                break
+            base_m = engine.execute(base, ("stab-a", template_id, week))
+            treat_m = engine.execute(treat, ("stab-b", template_id, week))
+            deltas.append(
+                (
+                    relative_delta(treat_m.latency_s, base_m.latency_s),
+                    relative_delta(treat_m.pnhours, base_m.pnhours),
+                )
+            )
+        if not ok:
+            continue
+        study.points.append(
+            StabilityPoint(
+                template_id=template_id,
+                week0_latency=deltas[0][0],
+                week1_latency=deltas[1][0],
+                week0_pnhours=deltas[0][1],
+                week1_pnhours=deltas[1][1],
+            )
+        )
+        count += 1
+    return study

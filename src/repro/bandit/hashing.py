@@ -1,0 +1,18 @@
+"""Feature hashing (the Vowpal-Wabbit trick).
+
+Features are (namespace, name, value) triples; (namespace, name) hashes
+into a fixed-size weight table.  Collisions are tolerated — with 2**18
+slots and a few hundred active features they are rare and act as mild
+regularization, exactly as in VW.
+"""
+
+from __future__ import annotations
+
+from repro.rng import stable_hash
+
+__all__ = ["feature_index"]
+
+
+def feature_index(namespace: str, name: str, bits: int) -> int:
+    """Slot of feature (namespace, name) in a 2**bits weight table."""
+    return stable_hash("feat", namespace, name) & ((1 << bits) - 1)

@@ -1,0 +1,82 @@
+"""The contextual-bandit learner: hashed linear regression with IPS weights.
+
+This is the VW-style reduction the paper relies on (§3.1): CB learning is
+reduced to supervised regression of the reward on (context, action)
+features, importance-weighted by the inverse probability of the logged
+action — so data gathered under the uniform logging policy trains the
+greedy policy acted on later (off-policy learning, §4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandit.features import ActionFeatures, ContextFeatures, FeatureVector, joint_features
+
+__all__ = ["CBLearner"]
+
+#: probabilities are floored when importance-weighting to bound variance
+_MIN_PROB = 0.01
+
+
+class CBLearner:
+    """SGD on squared loss over hashed features; also the policy's scorer."""
+
+    def __init__(
+        self,
+        bits: int = 18,
+        learning_rate: float = 0.08,
+        l2: float = 1e-6,
+        interaction_order: int = 3,
+    ) -> None:
+        self.bits = bits
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.interaction_order = interaction_order
+        self.weights = np.zeros(1 << bits)
+        self.updates = 0
+
+    # -- scoring -------------------------------------------------------------
+
+    def score(self, vector: FeatureVector) -> float:
+        total = 0.0
+        for index, value in vector.items():
+            total += self.weights[index] * value
+        return total
+
+    def score_action(self, context: ContextFeatures, action: ActionFeatures) -> float:
+        return self.score(joint_features(context, action, self.bits, self.interaction_order))
+
+    # -- learning --------------------------------------------------------------
+
+    def update(
+        self,
+        context: ContextFeatures,
+        action: ActionFeatures,
+        reward: float,
+        probability: float,
+    ) -> float:
+        """One IPS-weighted SGD step; returns the pre-update prediction."""
+        vector = joint_features(context, action, self.bits, self.interaction_order)
+        prediction = self.score(vector)
+        importance = 1.0 / max(probability, _MIN_PROB)
+        # normalized update (VW-style): scale by the squared feature norm so
+        # one step moves the prediction by at most ~the full error, keeping
+        # importance-weighted steps from diverging
+        norm_sq = sum(value * value for _, value in vector.items()) or 1.0
+        step = min(self.learning_rate * min(importance, 5.0), 0.5) / norm_sq
+        error = reward - prediction
+        for index, value in vector.items():
+            gradient = error * value - self.l2 * self.weights[index]
+            self.weights[index] += step * gradient
+        self.updates += 1
+        return prediction
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the weight table (model versioning support)."""
+        return self.weights.copy()
+
+    def restore(self, weights: np.ndarray) -> None:
+        if weights.shape != self.weights.shape:
+            raise ValueError("weight snapshot has the wrong shape")
+        self.weights = weights.copy()

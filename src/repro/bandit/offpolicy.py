@@ -1,0 +1,91 @@
+"""Counterfactual (off-policy) evaluation over logged bandit events.
+
+The paper's deployment "uses counter-factual evaluations where we can rely
+on past telemetry offline to improve learning parameters and to tune the
+model" (§6).  Standard estimators over logs of
+(context, actions, chosen index, logged probability, reward):
+
+* IPS — inverse propensity scoring (unbiased, high variance),
+* SNIPS — self-normalized IPS (biased, much lower variance),
+* DR — doubly robust, combining IPS with a reward model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bandit.features import ActionFeatures, ContextFeatures
+
+__all__ = ["LoggedEvent", "ips_estimate", "snips_estimate", "dr_estimate"]
+
+_MIN_PROB = 0.01
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """One logged decision: what was offered, chosen, and rewarded."""
+
+    context: ContextFeatures
+    actions: tuple[ActionFeatures, ...]
+    chosen: int
+    probability: float
+    reward: float
+
+
+def _target_probs(policy, event: LoggedEvent, scorer) -> list[float]:
+    return [
+        policy.action_probability(event.context, list(event.actions), index, scorer)
+        for index in range(len(event.actions))
+    ]
+
+
+def ips_estimate(events: list[LoggedEvent], policy, scorer=None) -> float:
+    """Unbiased estimate of the target policy's average reward."""
+    if not events:
+        return 0.0
+    total = 0.0
+    for event in events:
+        target = policy.action_probability(
+            event.context, list(event.actions), event.chosen, scorer
+        )
+        weight = target / max(event.probability, _MIN_PROB)
+        total += weight * event.reward
+    return total / len(events)
+
+
+def snips_estimate(events: list[LoggedEvent], policy, scorer=None) -> float:
+    """Self-normalized IPS: lower variance, slight bias."""
+    if not events:
+        return 0.0
+    numerator = 0.0
+    denominator = 0.0
+    for event in events:
+        target = policy.action_probability(
+            event.context, list(event.actions), event.chosen, scorer
+        )
+        weight = target / max(event.probability, _MIN_PROB)
+        numerator += weight * event.reward
+        denominator += weight
+    return numerator / denominator if denominator > 0 else 0.0
+
+
+def dr_estimate(events: list[LoggedEvent], policy, reward_model, scorer=None) -> float:
+    """Doubly robust: reward-model baseline + IPS correction.
+
+    ``reward_model(context, action) -> float`` supplies the direct method
+    component (e.g. ``CBLearner.score_action``).
+    """
+    if not events:
+        return 0.0
+    total = 0.0
+    for event in events:
+        probs = _target_probs(policy, event, scorer)
+        direct = sum(
+            p * reward_model(event.context, action)
+            for p, action in zip(probs, event.actions)
+        )
+        target = probs[event.chosen]
+        weight = target / max(event.probability, _MIN_PROB)
+        model_chosen = reward_model(event.context, event.actions[event.chosen])
+        total += direct + weight * (event.reward - model_chosen)
+    return total / len(events)

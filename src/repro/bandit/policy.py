@@ -1,0 +1,83 @@
+"""Action-selection policies over a linear scorer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bandit.features import ActionFeatures, ContextFeatures, joint_features
+
+__all__ = ["RankedAction", "UniformPolicy", "EpsilonGreedyPolicy"]
+
+
+@dataclass(frozen=True)
+class RankedAction:
+    """A chosen action with the probability it was chosen under the policy."""
+
+    index: int
+    action: ActionFeatures
+    probability: float
+    score: float = 0.0
+
+
+class UniformPolicy:
+    """Uniform-at-random logging policy (the paper's off-policy data source)."""
+
+    def choose(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        rng: np.random.Generator,
+        scorer=None,
+    ) -> RankedAction:
+        index = int(rng.integers(0, len(actions)))
+        return RankedAction(index, actions[index], probability=1.0 / len(actions))
+
+    def action_probability(self, context, actions, index, scorer=None) -> float:
+        return 1.0 / len(actions)
+
+
+class EpsilonGreedyPolicy:
+    """Exploit the scorer's argmax with probability 1−ε, explore otherwise."""
+
+    def __init__(self, epsilon: float, bits: int, interaction_order: int = 3) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.bits = bits
+        self.interaction_order = interaction_order
+
+    def _scores(self, context, actions, scorer) -> np.ndarray:
+        scores = np.empty(len(actions))
+        for index, action in enumerate(actions):
+            vector = joint_features(context, action, self.bits, self.interaction_order)
+            scores[index] = scorer.score(vector)
+        return scores
+
+    def choose(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        rng: np.random.Generator,
+        scorer=None,
+    ) -> RankedAction:
+        scores = self._scores(context, actions, scorer)
+        greedy = int(np.argmax(scores))
+        explore = rng.random() < self.epsilon
+        index = int(rng.integers(0, len(actions))) if explore else greedy
+        return RankedAction(
+            index,
+            actions[index],
+            probability=self.action_probability_from_scores(scores, index),
+            score=float(scores[index]),
+        )
+
+    def action_probability_from_scores(self, scores: np.ndarray, index: int) -> float:
+        greedy = int(np.argmax(scores))
+        base = self.epsilon / len(scores)
+        return base + (1.0 - self.epsilon) * (1.0 if index == greedy else 0.0)
+
+    def action_probability(self, context, actions, index, scorer=None) -> float:
+        scores = self._scores(context, actions, scorer)
+        return self.action_probability_from_scores(scores, index)

@@ -1,0 +1,156 @@
+"""Central configuration for simulations and the QO-Advisor pipeline.
+
+All tunables live in small frozen dataclasses grouped under
+:class:`SimulationConfig`.  Defaults are calibrated so that the structural
+properties the paper's evaluation depends on hold (see DESIGN.md §3):
+high latency variance, low PNhours variance, imperfect cost estimates, and
+learnable rule-flip signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "ClusterConfig",
+    "EstimatorConfig",
+    "WorkloadConfig",
+    "BanditConfig",
+    "FlightingConfig",
+    "AdvisorConfig",
+    "SimulationConfig",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of the simulated SCOPE cluster (see ``scope.runtime``)."""
+
+    #: maximum concurrent containers ("tokens") a job may use
+    max_tokens: int = 200
+    #: bytes of input one vertex should process (drives degree of parallelism)
+    partition_target_bytes: int = 256 * 1024 * 1024
+    #: sequential I/O bandwidth per vertex, bytes/second
+    io_bandwidth: float = 80e6
+    #: CPU seconds consumed per processed row, by rough operator class
+    #: (PNhours ends up I/O-heavy, as in SCOPE — see paper §4.3)
+    cpu_row_cost: float = 3.5e-7
+    #: fixed per-vertex scheduling/startup overhead in seconds
+    vertex_overhead_s: float = 0.8
+    #: sigma of the multiplicative lognormal CPU-time noise (small: PNhours
+    #: stays stable across A/A runs, paper Fig. 5)
+    cpu_noise_sigma: float = 0.09
+    #: sigma of the bounded multiplicative I/O-time noise ("the variability
+    #: of I/O time across A/A runs is bounded", paper §4.3)
+    io_noise_sigma: float = 0.025
+    #: sigma of the per-stage multiplicative latency noise (large: latency is
+    #: unstable across A/A runs, paper Fig. 3)
+    latency_noise_sigma: float = 0.25
+    #: probability that a stage suffers a straggler vertex
+    straggler_prob: float = 0.12
+    #: Pareto shape for straggler slowdown factors (smaller = heavier tail)
+    straggler_shape: float = 1.6
+    #: mean of the exponential scheduling wait added per stage, seconds
+    scheduling_wait_mean_s: float = 4.0
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Parameters of the (deliberately imperfect) cardinality estimator."""
+
+    #: sigma of the multiplicative lognormal estimation error applied per
+    #: plan operator; errors compound with depth, as observed for real
+    #: optimizers (Leis et al., "How good are query optimizers, really?")
+    error_sigma_per_level: float = 0.55
+    #: cap on the compounded error sigma
+    max_error_sigma: float = 2.2
+    #: relative staleness applied to base-table row counts
+    stats_staleness_sigma: float = 0.10
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic recurring SCOPE workload."""
+
+    #: number of distinct job templates in the workload tier
+    num_templates: int = 60
+    #: fraction of templates that recur daily (paper: >60 %)
+    recurring_fraction: float = 0.8
+    #: number of tables in the synthetic catalog
+    num_tables: int = 24
+    #: min/max queries (statements with outputs) per job script
+    min_queries_per_job: int = 1
+    max_queries_per_job: int = 3
+    #: min/max joins per query
+    max_joins_per_query: int = 3
+    #: fraction of jobs submitted with manual user hints (paper §2.1: ≤9 %)
+    manual_hint_fraction: float = 0.09
+    #: day-to-day input growth factor range for recurring instances
+    daily_growth_low: float = 0.85
+    daily_growth_high: float = 1.25
+
+
+@dataclass(frozen=True)
+class BanditConfig:
+    """Parameters of the contextual-bandit learner (``repro.bandit``)."""
+
+    #: number of bits in the hashed feature space (2**bits weights)
+    hash_bits: int = 18
+    #: exploration rate of the epsilon-greedy policy
+    epsilon: float = 0.15
+    #: SGD learning rate
+    learning_rate: float = 0.05
+    #: L2 regularization strength
+    l2: float = 1e-6
+    #: highest order of span co-occurrence interaction features (paper §6:
+    #: "second and third order co-occurrence indicators")
+    interaction_order: int = 3
+    #: reward clipping ratio (paper §4.2: clip anything over 2.0)
+    reward_clip: float = 2.0
+
+
+@dataclass(frozen=True)
+class FlightingConfig:
+    """Parameters of the Flighting Service simulator."""
+
+    #: fixed size of the concurrent flighting queue
+    queue_size: int = 8
+    #: per-job flighting timeout (paper: 24 hours)
+    per_job_timeout_s: float = 24 * 3600.0
+    #: total simulated machine-time budget per pipeline run, seconds
+    total_budget_s: float = 12 * 3600.0
+    #: probability a job class is unsupported by the service ("filtered")
+    filtered_prob: float = 0.05
+    #: probability job inputs expired before the flight ran ("failure")
+    failure_prob: float = 0.04
+
+
+@dataclass(frozen=True)
+class AdvisorConfig:
+    """Parameters of the QO-Advisor pipeline itself."""
+
+    #: validation safety threshold on predicted PNhours delta (paper: −0.1)
+    validation_threshold: float = -0.1
+    #: estimated-cost delta a flip must beat to be flighted at all
+    recompile_cost_filter: float = 0.0
+    #: number of days of flighting data used to train the validation model
+    validation_training_days: int = 14
+    #: maximum rule flips uploaded to SIS per day
+    max_hints_per_day: int = 50
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level configuration: one object wires an entire experiment."""
+
+    seed: int = 20220613
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    bandit: BanditConfig = field(default_factory=BanditConfig)
+    flighting: FlightingConfig = field(default_factory=FlightingConfig)
+    advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Return a copy of this config with a different experiment seed."""
+        return replace(self, seed=seed)

@@ -1,0 +1,12 @@
+"""QO-Advisor: the paper's primary contribution.
+
+The five daily tasks of Figure 1 — Feature Generation, Recommendation,
+Recompilation, Validation and Hint Generation — plus the job-span
+algorithm, the baselines, and the top-level :class:`~repro.core.advisor.QOAdvisor`.
+"""
+
+from repro.core.advisor import QOAdvisor
+from repro.core.pipeline import DayReport, QOAdvisorPipeline
+from repro.core.spans import SpanComputer
+
+__all__ = ["QOAdvisor", "QOAdvisorPipeline", "DayReport", "SpanComputer"]

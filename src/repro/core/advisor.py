@@ -1,0 +1,106 @@
+"""QOAdvisor: the one-stop top-level API.
+
+Wires a workload, a ScopeEngine, SIS, the Personalizer and the Flighting
+Service into the daily pipeline, and manages the deployment phases the
+paper describes: a uniform-logging warm-up (off-policy data collection +
+validation-model bootstrap), then learned-mode daily operation.
+
+>>> from repro import QOAdvisor, SimulationConfig
+>>> advisor = QOAdvisor(SimulationConfig(seed=7))
+>>> advisor.bootstrap(start_day=0)         # doctest: +SKIP
+>>> report = advisor.run_day(20)           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+from repro.core.pipeline import DayReport, QOAdvisorPipeline
+from repro.flighting.service import FlightingService
+from repro.personalizer.service import PersonalizerService
+from repro.scope.engine import ScopeEngine
+from repro.scope.optimizer.rules.base import default_registry
+from repro.sis.service import SISService
+from repro.workload.generator import Workload, build_workload
+
+__all__ = ["QOAdvisor"]
+
+
+@dataclass
+class QOAdvisor:
+    """The deployed steering system: engine + services + daily pipeline."""
+
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    workload: Workload | None = None
+
+    def __post_init__(self) -> None:
+        self.registry = default_registry()
+        if self.workload is None:
+            self.workload = build_workload(self.config, self.registry)
+        self.engine = ScopeEngine(self.workload.catalog, self.config, self.registry)
+        self.sis = SISService(self.registry)
+        self.personalizer = PersonalizerService(
+            self.config.bandit, seed=self.config.seed, mode="uniform_logging"
+        )
+        self.flighting = FlightingService(self.engine, self.config.flighting)
+        self.pipeline = QOAdvisorPipeline(
+            engine=self.engine,
+            workload=self.workload,
+            sis=self.sis,
+            personalizer=self.personalizer,
+            flighting=self.flighting,
+            config=self.config,
+        )
+        self.reports: list[DayReport] = []
+
+    # -- deployment phases --------------------------------------------------
+
+    def bootstrap(self, start_day: int = 0, days: int | None = None) -> None:
+        """Warm-up: gather the random-flip corpus, fit the validation model,
+        and train the Personalizer off-policy under uniform logging.
+
+        This is the paper's off-policy design: uniform randomization
+        produces the maximally informative training log (§4.2).
+        """
+        from repro.core.recommend import train_off_policy
+
+        self.pipeline.bootstrap_validation_model(start_day, days)
+        effective_days = days or self.config.advisor.validation_training_days
+        train_off_policy(
+            self.engine,
+            self.workload,
+            self.pipeline.spans,
+            self.personalizer,
+            range(start_day, start_day + effective_days),
+            self.config.bandit.reward_clip,
+        )
+
+    def enable_learned_mode(self) -> None:
+        """Switch the Personalizer from uniform logging to the learned policy."""
+        self.personalizer.switch_mode("learned")
+
+    def run_day(self, day: int) -> DayReport:
+        report = self.pipeline.run_day(day)
+        self.reports.append(report)
+        return report
+
+    def simulate(
+        self,
+        start_day: int,
+        days: int,
+        *,
+        learned_after: int = 3,
+    ) -> list[DayReport]:
+        """Run the pipeline for ``days`` consecutive days.
+
+        The Personalizer runs uniform-logging for the first
+        ``learned_after`` days (exploration data), then switches to the
+        learned policy — the staged rollout of §4.2.
+        """
+        reports = []
+        for offset in range(days):
+            if offset == learned_after:
+                self.enable_learned_mode()
+            reports.append(self.run_day(start_day + offset))
+        return reports

@@ -1,0 +1,60 @@
+"""Feature Generation: the first task of the daily pipeline (paper §4.1).
+
+Consumes the denormalized workload view, attaches the job span, and emits
+one :class:`JobFeatures` record per job — the input of the Recommendation
+task.  Jobs whose span is empty are marked unsteerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bandit.features import ContextFeatures
+from repro.core.spans import SpanComputer
+from repro.scope.jobs import JobInstance
+from repro.scope.telemetry.view import WorkloadView, WorkloadViewRow
+
+__all__ = ["JobFeatures", "FeatureGenerationTask"]
+
+
+@dataclass(frozen=True)
+class JobFeatures:
+    """One job's pipeline features: Table 1 view row plus the span."""
+
+    job: JobInstance
+    row: WorkloadViewRow
+    span: frozenset[int]
+
+    @property
+    def steerable(self) -> bool:
+        return bool(self.span)
+
+    def context(self) -> ContextFeatures:
+        """Contextual-bandit context (paper §3.2: span + Table 1 numerics)."""
+        return ContextFeatures(
+            span=tuple(sorted(self.span)),
+            estimated_cost=self.row.estimated_cost,
+            estimated_cardinality=self.row.estimated_cardinality,
+            row_count=self.row.row_count,
+            bytes_read=self.row.bytes_read,
+            vertices=float(self.row.vertices),
+            avg_row_length=self.row.avg_row_length,
+            job_name=self.row.normalized_job_name,
+        )
+
+
+class FeatureGenerationTask:
+    """View → features (spans computed once per template, then cached)."""
+
+    def __init__(self, spans: SpanComputer) -> None:
+        self.spans = spans
+
+    def run(self, view: WorkloadView, jobs: dict[str, JobInstance]) -> list[JobFeatures]:
+        features: list[JobFeatures] = []
+        for row in view:
+            job = jobs.get(row.job_id)
+            if job is None:
+                continue
+            span = self.spans.span_for_template(row.template_id, job.script)
+            features.append(JobFeatures(job=job, row=row, span=span))
+        return features

@@ -1,0 +1,246 @@
+"""The QO-Advisor daily pipeline (paper Figure 1, §2.5).
+
+One call to :meth:`QOAdvisorPipeline.run_day` performs the full offline
+loop for a given day:
+
+1. execute the day's production jobs (SIS hints active) and build the
+   denormalized workload view;
+2. **Feature Generation** — spans + Table 1 features;
+3. **Recommendation** — the contextual bandit picks ≤1 rule flip per job;
+4. **Recompilation** — evaluate flips on estimated cost, feed rewards back
+   to the Personalizer, prune non-improving flips;
+5. **Flighting** — one representative job per template, best estimates
+   first, under the machine-time budget;
+6. **Validation** — the regression guard accepts only flips with predicted
+   PNhours delta below the threshold;
+7. **Hint Generation** — upload the merged hint file to SIS; future
+   instances of the validated templates compile with the flip applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+from repro.core.features import FeatureGenerationTask, JobFeatures
+from repro.core.recommend import Recommendation, RecommendationTask
+from repro.core.recompile import (
+    CostOutcome,
+    RecompilationTask,
+    RecompileOutcome,
+    flight_candidates,
+)
+from repro.core.spans import SpanComputer
+from repro.core.validate import ValidatedFlip, ValidationModel, ValidationTask
+from repro.core.hintgen import HintGenerationTask
+from repro.errors import ScopeError
+from repro.flighting.results import FlightRequest, FlightResult
+from repro.flighting.service import FlightingService
+from repro.personalizer.service import PersonalizerService
+from repro.rng import keyed_rng
+from repro.scope.engine import JobRun, ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.scope.telemetry.view import WorkloadView, build_view_row
+from repro.sis.service import SISService
+from repro.workload.generator import Workload
+
+__all__ = ["DayReport", "QOAdvisorPipeline"]
+
+
+@dataclass
+class DayReport:
+    """Everything one pipeline day produced (analysis harnesses feed on it)."""
+
+    day: int
+    production_runs: list[JobRun] = field(default_factory=list)
+    failed_jobs: list[str] = field(default_factory=list)
+    view: WorkloadView | None = None
+    features: list[JobFeatures] = field(default_factory=list)
+    recommendations: list[Recommendation] = field(default_factory=list)
+    outcomes: list[RecompileOutcome] = field(default_factory=list)
+    flight_results: list[FlightResult] = field(default_factory=list)
+    validated: list[ValidatedFlip] = field(default_factory=list)
+    hint_version: int | None = None
+    active_hint_count: int = 0
+
+    @property
+    def steerable_fraction(self) -> float:
+        if not self.features:
+            return 0.0
+        return sum(1 for f in self.features if f.steerable) / len(self.features)
+
+    def outcome_counts(self) -> dict[CostOutcome, int]:
+        counts: dict[CostOutcome, int] = {outcome: 0 for outcome in CostOutcome}
+        for item in self.outcomes:
+            counts[item.outcome] += 1
+        return counts
+
+
+class QOAdvisorPipeline:
+    """The daily offline loop next to a ScopeEngine."""
+
+    def __init__(
+        self,
+        engine: ScopeEngine,
+        workload: Workload,
+        sis: SISService,
+        personalizer: PersonalizerService,
+        flighting: FlightingService,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.workload = workload
+        self.sis = sis
+        self.personalizer = personalizer
+        self.flighting = flighting
+        self.config = config or engine.config
+        self.spans = SpanComputer(engine)
+        self.feature_task = FeatureGenerationTask(self.spans)
+        self.recommend_task = RecommendationTask(personalizer, engine.registry)
+        self.recompile_task = RecompilationTask(
+            engine, reward_clip=self.config.bandit.reward_clip
+        )
+        self.validation_model = ValidationModel()
+        self.hint_task = HintGenerationTask(
+            sis, engine.registry, self.config.advisor.max_hints_per_day
+        )
+        sis.attach(engine)
+
+    # -- production + view ---------------------------------------------------
+
+    def run_production(self, day: int) -> tuple[list[JobRun], list[str], WorkloadView]:
+        """Execute the day's jobs with active hints; build the view file."""
+        jobs = self.workload.jobs_for_day(day)
+        runs: list[JobRun] = []
+        failed: list[str] = []
+        view = WorkloadView(day=day)
+        for job in jobs:
+            try:
+                run = self.engine.run_job(job)
+            except ScopeError:
+                failed.append(job.job_id)
+                continue
+            runs.append(run)
+            view.add(build_view_row(job, run.result, run.metrics))
+        return runs, failed, view
+
+    # -- validation-model bootstrap -----------------------------------------------
+
+    def bootstrap_validation_model(
+        self, start_day: int, days: int | None = None, flights_per_day: int = 12
+    ) -> list[FlightResult]:
+        """Gather the 14-day random-flip corpus and fit the validation model.
+
+        Mirrors §4.3: random flips are flighted over a period of days; the
+        corpus is split by date (earlier week trains, later week tests).
+        Returns the full corpus so callers can evaluate generalization.
+        """
+        from repro.scope.optimizer.rules.base import RuleFlip
+
+        days = days or self.config.advisor.validation_training_days
+        corpus: list[FlightResult] = []
+        for day in range(start_day, start_day + days):
+            jobs = self.workload.jobs_for_day(day)
+            rng = keyed_rng(self.config.seed, "bootstrap", day)
+            requests: list[FlightRequest] = []
+            for job in jobs:
+                if len(requests) >= flights_per_day:
+                    break
+                span = self.spans.span_for_template(job.template_id, job.script)
+                if not span:
+                    continue
+                # the corpus mirrors pipeline conditions: flights mostly carry
+                # flips that already improved the estimate at recompilation,
+                # plus some purely random ones for coverage (§4.3)
+                flip = self._corpus_flip(job, span, rng)
+                if flip is not None:
+                    requests.append(flip)
+            corpus.extend(self.flighting.run_queue(requests, day))
+        midpoint = start_day + days // 2
+        train = [r for r in corpus if r.day < midpoint]
+        self.validation_model.fit(train)
+        return corpus
+
+    def _corpus_flip(self, job, span: frozenset[int], rng) -> FlightRequest | None:
+        from repro.scope.optimizer.rules.base import RuleFlip
+
+        ordered = sorted(span)
+        picks = list(rng.permutation(len(ordered))[:4])
+        fallback: FlightRequest | None = None
+        for pick in picks:
+            rule_id = ordered[int(pick)]
+            flip = RuleFlip(rule_id, not self.engine.default_config.is_enabled(rule_id))
+            try:
+                default_cost = self.engine.compile_job(job, use_hints=False).est_cost
+                new_cost = self.engine.compile_job(job, flip, use_hints=False).est_cost
+            except ScopeError:
+                continue
+            delta = new_cost / default_cost - 1.0 if default_cost else 0.0
+            request = FlightRequest(job, flip, est_cost_delta=delta)
+            if delta < 0.0:
+                return request
+            if fallback is None:
+                fallback = request
+        # keep some non-improving flips: the model must see regressions too
+        if fallback is not None and rng.random() < 0.35:
+            return fallback
+        return None
+
+    # -- the daily loop ----------------------------------------------------------
+
+    def run_day(self, day: int) -> DayReport:
+        report = DayReport(day=day)
+        runs, failed, view = self.run_production(day)
+        report.production_runs = runs
+        report.failed_jobs = failed
+        report.view = view
+
+        jobs_by_id: dict[str, JobInstance] = {run.job.job_id: run.job for run in runs}
+        report.features = self.feature_task.run(view, jobs_by_id)
+
+        report.recommendations = self.recommend_task.run(report.features)
+        report.outcomes = self.recompile_task.run(report.recommendations)
+        for outcome in report.outcomes:
+            self.personalizer.reward(
+                outcome.recommendation.event_id, outcome.reward
+            )
+
+        candidates = flight_candidates(
+            report.outcomes, self.config.advisor.recompile_cost_filter
+        )
+        requests = self._representative_requests(candidates, day)
+        report.flight_results = self.flighting.run_queue(requests, day)
+
+        if self.validation_model.is_fitted:
+            validation = ValidationTask(
+                self.validation_model, self.config.advisor.validation_threshold
+            )
+            report.validated = validation.run(report.flight_results)
+            version = self.hint_task.run(report.validated, day)
+            report.hint_version = version.version if version else None
+        report.active_hint_count = len(self.sis.active_hints())
+        self.personalizer.publish_version()
+        return report
+
+    def _representative_requests(
+        self, candidates: list[RecompileOutcome], day: int
+    ) -> list[FlightRequest]:
+        """One randomly-picked representative job per template (§4.3)."""
+        by_template: dict[str, list[RecompileOutcome]] = {}
+        for outcome in candidates:
+            by_template.setdefault(
+                outcome.recommendation.features.row.template_id, []
+            ).append(outcome)
+        rng = keyed_rng(self.config.seed, "representatives", day)
+        requests: list[FlightRequest] = []
+        for template_id in sorted(by_template):
+            group = by_template[template_id]
+            chosen = group[int(rng.integers(0, len(group)))]
+            requests.append(
+                FlightRequest(
+                    job=chosen.recommendation.features.job,
+                    flip=chosen.recommendation.flip,
+                    est_cost_delta=chosen.est_cost_delta,
+                )
+            )
+        return requests

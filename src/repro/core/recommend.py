@@ -1,0 +1,127 @@
+"""Rule Recommendation: the contextual-bandit task (paper §3.2, §4.2).
+
+The action set for a job with span bits S is (1 + |S|): keep the default
+plan, or flip exactly one span rule relative to the default configuration.
+The Personalizer ranks the set; the chosen action's reward is supplied
+later by the Recompilation task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bandit.features import ActionFeatures
+from repro.core.features import JobFeatures
+from repro.personalizer.service import PersonalizerService
+from repro.scope.optimizer.rules.base import RuleConfiguration, RuleFlip, RuleRegistry
+
+__all__ = ["Recommendation", "RecommendationTask", "actions_for_span"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One job's chosen action (``flip`` is None for the no-op)."""
+
+    features: JobFeatures
+    flip: RuleFlip | None
+    event_id: str
+    probability: float
+
+
+def actions_for_span(
+    span: frozenset[int], registry: RuleRegistry, default: RuleConfiguration
+) -> list[ActionFeatures]:
+    """The (1 + S) single-flip action set of a job (paper §3.2)."""
+    actions = [ActionFeatures(rule_id=None)]
+    for rule_id in sorted(span):
+        rule = registry.rule(rule_id)
+        actions.append(
+            ActionFeatures(
+                rule_id=rule_id,
+                turn_on=not default.is_enabled(rule_id),
+                category=rule.category.value,
+            )
+        )
+    return actions
+
+
+def train_off_policy(
+    engine,
+    workload,
+    spans,
+    personalizer: PersonalizerService,
+    days,
+    reward_clip: float = 2.0,
+) -> int:
+    """Off-policy warm-up: uniform logging + cost-ratio rewards (§4.2).
+
+    For each steerable job, the Personalizer (in uniform-logging mode) ranks
+    the action set, the pick is recompiled, and the clipped cost ratio is
+    reported as reward.  Returns the number of logged events.
+    """
+    from repro.errors import ScopeError
+    from repro.scope.telemetry.view import build_view_row
+
+    from repro.core.features import JobFeatures
+
+    registry = engine.registry
+    events = 0
+    for day in days:
+        for job in workload.jobs_for_day(day):
+            span = spans.span_for_template(job.template_id, job.script)
+            if not span:
+                continue
+            try:
+                run_result = engine.compile_job(job, use_hints=False)
+                metrics = engine.execute(run_result, job.run_key())
+            except ScopeError:
+                continue
+            row = build_view_row(job, run_result, metrics)
+            features = JobFeatures(job=job, row=row, span=span)
+            actions = actions_for_span(span, registry, engine.default_config)
+            response = personalizer.rank(features.context(), actions)
+            events += 1
+            if response.action.rule_id is None:
+                personalizer.reward(response.event_id, 1.0)
+                continue
+            flip = RuleFlip(response.action.rule_id, response.action.turn_on)
+            try:
+                cost = engine.compile_job(job, flip, use_hints=False).est_cost
+            except ScopeError:
+                personalizer.reward(response.event_id, 0.0)
+                continue
+            if cost <= 0:
+                reward = reward_clip
+            else:
+                reward = min(run_result.est_cost / cost, reward_clip)
+            personalizer.reward(response.event_id, reward)
+    return events
+
+
+class RecommendationTask:
+    """Features → up to one rule-flip recommendation per job."""
+
+    def __init__(self, personalizer: PersonalizerService, registry: RuleRegistry) -> None:
+        self.personalizer = personalizer
+        self.registry = registry
+        self.default = registry.default_configuration()
+
+    def run(self, features: list[JobFeatures]) -> list[Recommendation]:
+        recommendations: list[Recommendation] = []
+        for job_features in features:
+            if not job_features.steerable:
+                continue  # empty span: nothing to recommend (paper §4.1)
+            actions = actions_for_span(job_features.span, self.registry, self.default)
+            response = self.personalizer.rank(job_features.context(), actions)
+            flip = None
+            if response.action.rule_id is not None:
+                flip = RuleFlip(response.action.rule_id, response.action.turn_on)
+            recommendations.append(
+                Recommendation(
+                    features=job_features,
+                    flip=flip,
+                    event_id=response.event_id,
+                    probability=response.probability,
+                )
+            )
+        return recommendations

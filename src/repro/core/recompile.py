@@ -1,0 +1,109 @@
+"""Recompilation: evaluate recommended flips on estimated cost (paper §4.2).
+
+Each recommended flip is recompiled so we can (1) catch compilation errors
+upfront and (2) obtain the new estimated cost.  The reward fed back to the
+contextual bandit is the cost ratio ``default / new`` (higher is better),
+clipped at 2.0 to keep outliers from skewing the model.  Jobs whose flip
+does not improve the estimate are pruned before flighting — the cost filter
+whose removal the §5.2 ablation studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.recommend import Recommendation
+from repro.errors import ScopeError
+from repro.scope.engine import ScopeEngine
+
+__all__ = ["CostOutcome", "RecompileOutcome", "RecompilationTask"]
+
+_REL_TOLERANCE = 1e-9
+
+
+class CostOutcome(enum.Enum):
+    """Effect of a flip on the optimizer's estimated cost (Table 3 rows)."""
+
+    LOWER = "lower"
+    EQUAL = "equal"
+    HIGHER = "higher"
+    FAILURE = "failure"
+    NOOP = "noop"
+
+
+@dataclass
+class RecompileOutcome:
+    """Result of recompiling one recommendation."""
+
+    recommendation: Recommendation
+    outcome: CostOutcome
+    default_cost: float
+    new_cost: float | None
+    reward: float
+
+    @property
+    def est_cost_delta(self) -> float:
+        """new/default − 1; negative is an improvement."""
+        if self.new_cost is None or self.default_cost == 0.0:
+            return float("inf")
+        return self.new_cost / self.default_cost - 1.0
+
+
+class RecompilationTask:
+    """Recompiles recommendations and reports rewards to the Personalizer."""
+
+    def __init__(self, engine: ScopeEngine, reward_clip: float = 2.0) -> None:
+        self.engine = engine
+        self.reward_clip = reward_clip
+        self.recompilations = 0
+
+    def evaluate(self, recommendation: Recommendation) -> RecompileOutcome:
+        """Classify one flip; does not touch the Personalizer."""
+        job = recommendation.features.job
+        if recommendation.flip is None:
+            return RecompileOutcome(
+                recommendation, CostOutcome.NOOP, recommendation.features.row.estimated_cost,
+                recommendation.features.row.estimated_cost, reward=1.0,
+            )
+        try:
+            default_result = self.engine.compile_job(job, use_hints=False)
+            self.recompilations += 1
+            default_cost = default_result.est_cost
+        except ScopeError:
+            # the job itself no longer compiles: treat as failure, no signal
+            return RecompileOutcome(recommendation, CostOutcome.FAILURE, 0.0, None, 0.0)
+        try:
+            new_result = self.engine.compile_job(job, recommendation.flip, use_hints=False)
+            self.recompilations += 1
+        except ScopeError:
+            return RecompileOutcome(
+                recommendation, CostOutcome.FAILURE, default_cost, None, reward=0.0
+            )
+        new_cost = new_result.est_cost
+        if new_cost <= 0.0:
+            ratio = self.reward_clip
+        else:
+            ratio = min(default_cost / new_cost, self.reward_clip)
+        if abs(new_cost - default_cost) <= _REL_TOLERANCE * max(default_cost, 1.0):
+            outcome = CostOutcome.EQUAL
+        elif new_cost < default_cost:
+            outcome = CostOutcome.LOWER
+        else:
+            outcome = CostOutcome.HIGHER
+        return RecompileOutcome(recommendation, outcome, default_cost, new_cost, reward=ratio)
+
+    def run(self, recommendations: list[Recommendation]) -> list[RecompileOutcome]:
+        """Evaluate every recommendation (rewards are reported by the caller)."""
+        return [self.evaluate(recommendation) for recommendation in recommendations]
+
+
+def flight_candidates(
+    outcomes: list[RecompileOutcome], cost_filter: float = 0.0
+) -> list[RecompileOutcome]:
+    """Keep flips whose estimated-cost delta beats the filter (§4.3)."""
+    return [
+        outcome
+        for outcome in outcomes
+        if outcome.outcome is CostOutcome.LOWER and outcome.est_cost_delta < cost_filter
+    ]

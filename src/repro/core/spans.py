@@ -1,0 +1,92 @@
+"""Job span computation (paper §2.1, §4.1).
+
+The *span* of a job is the set of non-required rules that can affect its
+final plan.  The heuristic fixpoint from the paper (and [29]):
+
+1. compile under the default configuration, seed the span with the
+   signature's non-required rules;
+2. build a probe configuration: all off-by-default rules ON, every rule
+   seen so far OFF;
+3. recompile — newly used rules join the span (and get turned off next
+   round);
+4. repeat until no new rule appears or recompilation fails.
+
+Jobs with an empty span cannot be steered and are dropped by the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScopeError
+from repro.scope.compile import CompiledScript
+from repro.scope.engine import ScopeEngine
+from repro.scope.optimizer.engine import OptimizationResult
+from repro.scope.optimizer.rules.base import RuleCategory
+
+__all__ = ["SpanComputer"]
+
+
+class SpanComputer:
+    """Computes (and caches, per template) job spans."""
+
+    def __init__(self, engine: ScopeEngine, max_iterations: int = 6) -> None:
+        self.engine = engine
+        self.max_iterations = max_iterations
+        self._cache: dict[str, frozenset[int]] = {}
+        #: compilations spent computing spans (cost accounting)
+        self.recompilations = 0
+
+    def span_for_template(self, template_id: str, script: str) -> frozenset[int]:
+        """Span of a template (cached: instances share operator shape)."""
+        if template_id not in self._cache:
+            self._cache[template_id] = self.compute(script)
+        return self._cache[template_id]
+
+    def compute(
+        self, script: str, default_result: OptimizationResult | None = None
+    ) -> frozenset[int]:
+        """Run the fixpoint span heuristic on one script."""
+        engine = self.engine
+        registry = engine.registry
+        try:
+            compiled = engine.compile(script)
+            if default_result is None:
+                default_result = engine.optimize(compiled)
+                self.recompilations += 1
+        except ScopeError:
+            return frozenset()
+        span: set[int] = set(default_result.signature.non_required_ids(registry))
+        disabled: set[int] = set(span)
+        off_by_default = set(registry.ids_in_category(RuleCategory.OFF_BY_DEFAULT))
+
+        for _ in range(self.max_iterations):
+            config = engine.default_config
+            flips = [r for r in off_by_default - disabled if not config.is_enabled(r)]
+            flips += [r for r in disabled if config.is_enabled(r)]
+            config = config.with_flips(flips)
+            try:
+                result = engine.optimize(compiled, config)
+                self.recompilations += 1
+            except ScopeError:
+                break
+            new_ids = result.signature.non_required_ids(registry) - span
+            if not new_ids:
+                break
+            span |= new_ids
+            disabled |= new_ids
+
+        # Adaptation over the published heuristic: the combined probe above
+        # dies as soon as it disables a sole-implementation rule, which would
+        # hide off-by-default rules from most spans.  Probe each remaining
+        # off-by-default rule individually — faithful to the span's
+        # *semantics* ("rules which, if flipped, can affect the final plan").
+        for rule_id in sorted(off_by_default - span):
+            config = engine.default_config.with_flip(rule_id)
+            try:
+                result = engine.optimize(compiled, config)
+                self.recompilations += 1
+            except ScopeError:
+                span.add(rule_id)  # flipping it breaks compilation: it matters
+                continue
+            if rule_id in result.signature.non_required_ids(registry):
+                span.add(rule_id)
+        return frozenset(span)

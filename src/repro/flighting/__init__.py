@@ -1,0 +1,6 @@
+"""The Flighting Service: pre-production A/B and A/A testing."""
+
+from repro.flighting.results import FlightRequest, FlightResult, FlightStatus
+from repro.flighting.service import FlightingService
+
+__all__ = ["FlightingService", "FlightRequest", "FlightResult", "FlightStatus"]

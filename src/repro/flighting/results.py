@@ -1,0 +1,77 @@
+"""Flighting request/result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.rules.base import RuleFlip
+from repro.scope.runtime.metrics import JobMetrics, relative_delta
+
+__all__ = ["FlightStatus", "FlightRequest", "FlightResult"]
+
+
+class FlightStatus(enum.Enum):
+    """Outcomes the Flighting Service can return (paper §4.3)."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"  # job information or input data expired / compile error
+    TIMEOUT = "timeout"  # exceeded the per-job flighting time limit
+    FILTERED = "filtered"  # job class not supported by the service
+    NOT_RUN = "not_run"  # budget exhausted before this request was served
+
+
+@dataclass(frozen=True)
+class FlightRequest:
+    """One A/B test request: a job and the rule flip to evaluate."""
+
+    job: JobInstance
+    flip: RuleFlip
+    #: estimated-cost delta from recompilation (used to order the queue)
+    est_cost_delta: float = 0.0
+
+
+@dataclass
+class FlightResult:
+    """Outcome of one A/B flight."""
+
+    request: FlightRequest
+    status: FlightStatus
+    baseline: JobMetrics | None = None
+    treatment: JobMetrics | None = None
+    flight_seconds: float = 0.0
+    day: int = 0
+
+    @property
+    def job(self) -> JobInstance:
+        return self.request.job
+
+    @property
+    def flip(self) -> RuleFlip:
+        return self.request.flip
+
+    @property
+    def pnhours_delta(self) -> float:
+        assert self.baseline is not None and self.treatment is not None
+        return relative_delta(self.treatment.pnhours, self.baseline.pnhours)
+
+    @property
+    def latency_delta(self) -> float:
+        assert self.baseline is not None and self.treatment is not None
+        return relative_delta(self.treatment.latency_s, self.baseline.latency_s)
+
+    @property
+    def vertices_delta(self) -> float:
+        assert self.baseline is not None and self.treatment is not None
+        return relative_delta(self.treatment.vertices, self.baseline.vertices)
+
+    @property
+    def data_read_delta(self) -> float:
+        assert self.baseline is not None and self.treatment is not None
+        return relative_delta(self.treatment.data_read, self.baseline.data_read)
+
+    @property
+    def data_written_delta(self) -> float:
+        assert self.baseline is not None and self.treatment is not None
+        return relative_delta(self.treatment.data_written, self.baseline.data_written)

@@ -1,0 +1,108 @@
+"""Flighting Service simulator (paper §2.1, §4.3).
+
+Re-runs jobs in a pre-production environment under alternative engine
+configurations and compares them with the default.  Mirrors the paper's
+operational constraints:
+
+* a fixed-size queue of concurrently flighted jobs,
+* a per-job flighting timeout (24 h in production),
+* a total machine-time budget per pipeline run — requests are served in
+  ascending estimated-cost order so the most promising flips are evaluated
+  before the budget runs out,
+* outcome classes {success, failure, timeout, filtered}.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.config import FlightingConfig
+from repro.errors import OptimizationError, ScopeError
+from repro.flighting.results import FlightRequest, FlightResult, FlightStatus
+from repro.rng import keyed_rng
+from repro.scope.engine import ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.scope.runtime.metrics import JobMetrics
+
+__all__ = ["FlightingService"]
+
+
+class FlightingService:
+    """Pre-production A/B (and A/A) testing against a ScopeEngine."""
+
+    def __init__(self, engine: ScopeEngine, config: FlightingConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config or FlightingConfig()
+        self._flight_counter = 0
+
+    # -- single flights ------------------------------------------------------
+
+    def flight(self, request: FlightRequest, day: int) -> FlightResult:
+        """Run one A/B test: default configuration vs. the requested flip."""
+        self._flight_counter += 1
+        job = request.job
+        gate_rng = keyed_rng(self.engine.config.seed, "flight-gate", job.job_id, day)
+        if gate_rng.random() < self.config.filtered_prob:
+            return FlightResult(request, FlightStatus.FILTERED, day=day)
+        if gate_rng.random() < self.config.failure_prob:
+            return FlightResult(request, FlightStatus.FAILURE, day=day)
+        try:
+            baseline_result = self.engine.compile_job(job, use_hints=False)
+            treatment_result = self.engine.compile_job(job, request.flip, use_hints=False)
+        except ScopeError:
+            return FlightResult(request, FlightStatus.FAILURE, day=day)
+        baseline = self.engine.execute(
+            baseline_result, ("flight-a", job.job_id, day, self._flight_counter)
+        )
+        treatment = self.engine.execute(
+            treatment_result, ("flight-b", job.job_id, day, self._flight_counter)
+        )
+        flight_seconds = baseline.latency_s + treatment.latency_s
+        status = FlightStatus.SUCCESS
+        if max(baseline.latency_s, treatment.latency_s) > self.config.per_job_timeout_s:
+            status = FlightStatus.TIMEOUT
+        return FlightResult(
+            request,
+            status,
+            baseline=baseline,
+            treatment=treatment,
+            flight_seconds=flight_seconds,
+            day=day,
+        )
+
+    def aa_runs(self, job: JobInstance, runs: int, day: int) -> list[JobMetrics]:
+        """A/A testing: execute the default plan ``runs`` times (§5.1)."""
+        result = self.engine.compile_job(job, use_hints=False)
+        return [
+            self.engine.execute(result, ("aa", job.job_id, day, i)) for i in range(runs)
+        ]
+
+    # -- budgeted queue ---------------------------------------------------------
+
+    def run_queue(self, requests: list[FlightRequest], day: int) -> list[FlightResult]:
+        """Serve requests through the fixed-size queue under the time budget.
+
+        Requests are served in ascending ``est_cost_delta`` order (most
+        promising first, §4.3).  The queue admits ``queue_size`` concurrent
+        flights; simulated wall-clock advances as slots free up.  Requests
+        still waiting when the budget expires are returned as NOT_RUN.
+        """
+        ordered = sorted(requests, key=lambda r: (r.est_cost_delta, r.job.job_id))
+        results: list[FlightResult] = []
+        # (finish_time) min-heap of busy slots
+        slots: list[float] = []
+        clock = 0.0
+        budget = self.config.total_budget_s
+        for request in ordered:
+            if len(slots) >= self.config.queue_size:
+                clock = heapq.heappop(slots)
+            if clock >= budget:
+                results.append(FlightResult(request, FlightStatus.NOT_RUN, day=day))
+                continue
+            result = self.flight(request, day)
+            duration = result.flight_seconds
+            if result.status is FlightStatus.TIMEOUT:
+                duration = min(duration, self.config.per_job_timeout_s)
+            heapq.heappush(slots, clock + max(1.0, duration))
+            results.append(result)
+        return results

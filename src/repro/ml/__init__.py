@@ -1,0 +1,6 @@
+"""Small ML utilities: OLS regression and summary statistics."""
+
+from repro.ml.linreg import LinearRegression
+from repro.ml.stats import coefficient_of_variation, pearson_r, polynomial_trend
+
+__all__ = ["LinearRegression", "coefficient_of_variation", "pearson_r", "polynomial_trend"]

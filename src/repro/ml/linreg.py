@@ -1,0 +1,56 @@
+"""Ordinary least squares linear regression (numpy only).
+
+Used by QO-Advisor's Validation model (paper §4.3): predict the PNhours
+delta of a rule flip from the DataRead and DataWritten deltas observed in a
+single flighting run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """OLS with an intercept; tiny by design."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coef_ is not None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValidationError("features must be a 2-D array")
+        if features.shape[0] != targets.shape[0]:
+            raise ValidationError("features and targets disagree on sample count")
+        if features.shape[0] < features.shape[1] + 1:
+            raise ValidationError("not enough samples to fit the regression")
+        design = np.column_stack([np.ones(features.shape[0]), features])
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        self.intercept_ = float(solution[0])
+        self.coef_ = solution[1:]
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise ValidationError("model is not fitted")
+        features = np.asarray(features, dtype=float)
+        return features @ self.coef_ + self.intercept_
+
+    def r2_score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=float)
+        predictions = self.predict(features)
+        residual = float(np.sum((targets - predictions) ** 2))
+        total = float(np.sum((targets - targets.mean()) ** 2))
+        if total == 0.0:
+            return 1.0 if residual == 0.0 else 0.0
+        return 1.0 - residual / total

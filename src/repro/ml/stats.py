@@ -1,0 +1,30 @@
+"""Summary statistics used by the analysis harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["coefficient_of_variation", "pearson_r", "polynomial_trend"]
+
+
+def coefficient_of_variation(values) -> float:
+    """std/mean of a sample; the paper's per-job A/A 'variance' (Figs. 3, 5)."""
+    array = np.asarray(values, dtype=float)
+    mean = array.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(array.std(ddof=1) / abs(mean)) if array.size > 1 else 0.0
+
+
+def pearson_r(x, y) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 2 or float(x.std()) == 0.0 or float(y.std()) == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def polynomial_trend(x, y, degree: int = 1) -> np.ndarray:
+    """Fit the one-dimensional polynomial trend the paper draws (Figs. 7-8)."""
+    return np.polyfit(np.asarray(x, dtype=float), np.asarray(y, dtype=float), degree)

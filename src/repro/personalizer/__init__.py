@@ -1,0 +1,5 @@
+"""An Azure-Personalizer-like contextual decision service."""
+
+from repro.personalizer.service import PersonalizerService, RankResponse
+
+__all__ = ["PersonalizerService", "RankResponse"]

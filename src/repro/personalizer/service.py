@@ -1,0 +1,184 @@
+"""A local stand-in for the Azure Personalizer service (paper §4.2, §6).
+
+Same API surface the paper integrates with:
+
+* :meth:`PersonalizerService.rank` — given (context, actions) return a
+  chosen action with its logged probability and an event id;
+* :meth:`PersonalizerService.reward` — report the observed reward for an
+  event id; the model learns online;
+* high-fidelity event logging enabling counterfactual policy evaluation
+  (:meth:`counterfactual_evaluate`);
+* model state management: versioned snapshots and restore.
+
+Two operating modes mirror the paper's off-policy design: in
+``uniform_logging`` mode actions are chosen uniformly at random (maximally
+informative training data) while the model still learns from rewards; in
+``learned`` mode the epsilon-greedy policy acts on the learned scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bandit.features import ActionFeatures, ContextFeatures
+from repro.bandit.learner import CBLearner
+from repro.bandit.offpolicy import LoggedEvent, dr_estimate, ips_estimate, snips_estimate
+from repro.bandit.policy import EpsilonGreedyPolicy, UniformPolicy
+from repro.config import BanditConfig
+from repro.errors import PersonalizerError
+from repro.rng import keyed_rng
+
+__all__ = ["PersonalizerService", "RankResponse"]
+
+
+@dataclass(frozen=True)
+class RankResponse:
+    """Answer to a rank call."""
+
+    event_id: str
+    action: ActionFeatures
+    index: int
+    probability: float
+    model_version: int
+
+
+@dataclass
+class _PendingEvent:
+    context: ContextFeatures
+    actions: tuple[ActionFeatures, ...]
+    chosen: int
+    probability: float
+
+
+@dataclass
+class _ModelVersion:
+    version: int
+    weights: np.ndarray
+    updates: int
+
+
+class PersonalizerService:
+    """Rank/Reward contextual-bandit service with event logging."""
+
+    def __init__(
+        self,
+        config: BanditConfig | None = None,
+        seed: int = 0,
+        mode: str = "uniform_logging",
+    ) -> None:
+        if mode not in ("uniform_logging", "learned"):
+            raise PersonalizerError(f"unknown mode {mode!r}")
+        self.config = config or BanditConfig()
+        self.mode = mode
+        self.learner = CBLearner(
+            bits=self.config.hash_bits,
+            learning_rate=self.config.learning_rate,
+            l2=self.config.l2,
+            interaction_order=self.config.interaction_order,
+        )
+        self.greedy_policy = EpsilonGreedyPolicy(
+            self.config.epsilon, self.config.hash_bits, self.config.interaction_order
+        )
+        self.uniform_policy = UniformPolicy()
+        self._rng = keyed_rng(seed, "personalizer")
+        self._pending: dict[str, _PendingEvent] = {}
+        self.event_log: list[LoggedEvent] = []
+        self.versions: list[_ModelVersion] = []
+        self._event_counter = 0
+
+    # -- rank / reward ---------------------------------------------------------
+
+    def rank(self, context: ContextFeatures, actions: list[ActionFeatures]) -> RankResponse:
+        """Choose one action; the caller must later report its reward."""
+        if not actions:
+            raise PersonalizerError("rank called with an empty action set")
+        policy = self.uniform_policy if self.mode == "uniform_logging" else self.greedy_policy
+        ranked = policy.choose(context, actions, self._rng, scorer=self.learner)
+        self._event_counter += 1
+        event_id = f"evt-{self._event_counter:08d}"
+        self._pending[event_id] = _PendingEvent(
+            context=context,
+            actions=tuple(actions),
+            chosen=ranked.index,
+            probability=ranked.probability,
+        )
+        return RankResponse(
+            event_id=event_id,
+            action=actions[ranked.index],
+            index=ranked.index,
+            probability=ranked.probability,
+            model_version=len(self.versions),
+        )
+
+    def reward(self, event_id: str, value: float) -> None:
+        """Report the reward for a ranked event; the model learns online."""
+        pending = self._pending.pop(event_id, None)
+        if pending is None:
+            raise PersonalizerError(f"unknown or already-rewarded event {event_id!r}")
+        self.event_log.append(
+            LoggedEvent(
+                context=pending.context,
+                actions=pending.actions,
+                chosen=pending.chosen,
+                probability=pending.probability,
+                reward=value,
+            )
+        )
+        self.learner.update(
+            pending.context,
+            pending.actions[pending.chosen],
+            value,
+            pending.probability,
+        )
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._pending)
+
+    # -- model management ---------------------------------------------------------
+
+    def publish_version(self) -> int:
+        """Snapshot the current model (daily pipeline checkpoint)."""
+        self.versions.append(
+            _ModelVersion(
+                version=len(self.versions) + 1,
+                weights=self.learner.snapshot(),
+                updates=self.learner.updates,
+            )
+        )
+        return len(self.versions)
+
+    def restore_version(self, version: int) -> None:
+        for model in self.versions:
+            if model.version == version:
+                self.learner.restore(model.weights)
+                return
+        raise PersonalizerError(f"unknown model version {version}")
+
+    def switch_mode(self, mode: str) -> None:
+        if mode not in ("uniform_logging", "learned"):
+            raise PersonalizerError(f"unknown mode {mode!r}")
+        self.mode = mode
+
+    # -- counterfactual evaluation ---------------------------------------------------
+
+    def counterfactual_evaluate(self, policy=None) -> dict[str, float]:
+        """IPS/SNIPS/DR estimates of a policy over the logged events.
+
+        Defaults to evaluating the current greedy policy against the log —
+        the paper's offline tuning loop.
+        """
+        policy = policy or self.greedy_policy
+        return {
+            "ips": ips_estimate(self.event_log, policy, scorer=self.learner),
+            "snips": snips_estimate(self.event_log, policy, scorer=self.learner),
+            "dr": dr_estimate(
+                self.event_log, policy, self.learner.score_action, scorer=self.learner
+            ),
+            "logged_mean": (
+                float(np.mean([e.reward for e in self.event_log])) if self.event_log else 0.0
+            ),
+            "events": float(len(self.event_log)),
+        }

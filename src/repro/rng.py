@@ -1,0 +1,79 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the library draws randomness from an explicit
+:class:`numpy.random.Generator` produced here — there is no use of the global
+``random`` state anywhere.  Two needs are served:
+
+* **Hierarchical seeding** — a single experiment seed fans out into
+  independent streams for the workload generator, the cluster noise model,
+  the bandit exploration, etc. (:func:`child_rng`, :class:`RngFactory`).
+
+* **Stable per-object noise** — the cardinality estimator must return the
+  *same* error for the same logical subexpression on every recompilation
+  (otherwise estimated costs would jitter between pipeline runs and the
+  paper's Recompilation pruning step would be meaningless).  This is done by
+  seeding a throwaway generator from a stable string key
+  (:func:`stable_hash`, :func:`keyed_rng`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stable_hash", "keyed_rng", "child_rng", "RngFactory"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a 64-bit hash of ``parts`` that is stable across processes.
+
+    Python's built-in ``hash`` is salted per process for strings, so it
+    cannot be used to derive reproducible seeds.  We hash the ``repr`` of
+    each part with BLAKE2b instead.
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x1f")
+    return int.from_bytes(hasher.digest(), "little") & _MASK64
+
+
+def keyed_rng(seed: int, *parts: object) -> np.random.Generator:
+    """Return a generator whose stream depends only on ``seed`` and ``parts``."""
+    return np.random.default_rng(np.random.SeedSequence([seed & _MASK64, stable_hash(*parts)]))
+
+
+def child_rng(parent: np.random.Generator) -> np.random.Generator:
+    """Spawn an independent child generator from ``parent``."""
+    return np.random.default_rng(parent.integers(0, _MASK64, dtype=np.uint64))
+
+
+class RngFactory:
+    """Fans a single experiment seed out into named independent streams.
+
+    Streams are memoized: asking twice for the same name returns the same
+    generator object, so sequential draws continue rather than restart.
+
+    >>> factory = RngFactory(7)
+    >>> a = factory.stream("cluster-noise")
+    >>> b = factory.stream("workload")
+    >>> a is factory.stream("cluster-noise")
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the memoized generator for ``name``."""
+        if name not in self._streams:
+            self._streams[name] = keyed_rng(self.seed, "stream", name)
+        return self._streams[name]
+
+    def fresh(self, *parts: object) -> np.random.Generator:
+        """Return a new generator keyed by ``parts`` (not memoized)."""
+        return keyed_rng(self.seed, *parts)

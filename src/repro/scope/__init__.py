@@ -1,0 +1,13 @@
+"""A SCOPE-like big-data processing substrate.
+
+This subpackage implements, from scratch, every piece of the SCOPE stack the
+QO-Advisor paper depends on: a SQL-like scripting language, a compiler to
+logical operator DAGs, a cascades-style rule-based optimizer with rule
+signatures, a statistics catalog with a ground-truth data model, and a
+distributed runtime simulator that produces the paper's metrics (latency,
+PNhours, vertices, DataRead, DataWritten).
+"""
+
+from repro.scope.engine import JobRun, ScopeEngine
+
+__all__ = ["ScopeEngine", "JobRun"]

@@ -1,0 +1,16 @@
+"""The SCOPE-like scripting language: lexer, AST, parser, and binder."""
+
+from repro.scope.language.lexer import Lexer, Token, TokenKind, tokenize
+from repro.scope.language.parser import Parser, parse_script
+from repro.scope.language.binder import Binder, BoundScript
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse_script",
+    "Binder",
+    "BoundScript",
+]

@@ -1,0 +1,327 @@
+"""Abstract syntax tree for the SCOPE-like scripting language.
+
+Expression nodes are frozen dataclasses, so they hash and compare
+structurally; the optimizer relies on this to key memo groups and to seed
+stable estimation noise per subexpression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scope.types import Column, DataType
+
+__all__ = [
+    "Expr",
+    "ColumnRef",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "FuncCall",
+    "Star",
+    "SelectItem",
+    "TableSource",
+    "JoinSource",
+    "Source",
+    "OrderItem",
+    "SelectQuery",
+    "Statement",
+    "ExtractStatement",
+    "AssignStatement",
+    "OutputStatement",
+    "Script",
+    "AGGREGATE_FUNCTIONS",
+    "split_conjuncts",
+    "make_conjunction",
+    "columns_in",
+    "contains_aggregate",
+]
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+LOGICAL_OPS = frozenset({"AND", "OR"})
+
+
+class Expr:
+    """Base class for expressions."""
+
+    def sql(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference, e.g. ``r.user_id``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant. ``dtype`` is inferred by the lexer/parser."""
+
+    value: object
+    dtype: DataType
+
+    def sql(self) -> str:
+        if self.dtype == DataType.STRING:
+            return '"' + str(self.value) + '"'
+        if self.dtype == DataType.BOOL:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operation: arithmetic, comparison or AND/OR."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in COMPARISON_OPS
+
+    @property
+    def is_logical(self) -> bool:
+        return self.op in LOGICAL_OPS
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operation: NOT or numeric negation."""
+
+    op: str
+    operand: Expr
+
+    def sql(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.sql()})"
+        return f"({self.op}{self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call; aggregate when ``name`` is in AGGREGATE_FUNCTIONS."""
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def sql(self) -> str:
+        inner = ", ".join(arg.sql() for arg in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` — all columns (as in ``COUNT(*)`` or ``SELECT *``)."""
+
+    def sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: expression plus optional ``AS alias``."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.sql()} AS {self.alias}"
+        return self.expr.sql()
+
+
+class Source:
+    """Base class for FROM-clause sources."""
+
+
+@dataclass(frozen=True)
+class TableSource(Source):
+    """A named rowset or catalog table, with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+    def sql(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class JoinSource(Source):
+    """``left JOIN right ON condition`` (inner joins only, as generated)."""
+
+    left: Source
+    right: Source
+    condition: Expr
+    kind: str = "INNER"
+
+    def sql(self) -> str:
+        return f"{self.left.sql()} {self.kind} JOIN {self.right.sql()} ON {self.condition.sql()}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+    def sql(self) -> str:
+        return self.expr.sql() + ("" if self.ascending else " DESC")
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A SELECT query (optionally with UNION ALL branches)."""
+
+    items: tuple[SelectItem, ...]
+    source: Source
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    union_all: "SelectQuery | None" = None
+
+    def sql(self) -> str:
+        parts = ["SELECT " + ", ".join(item.sql() for item in self.items)]
+        parts.append("FROM " + self.source.sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.sql() for o in self.order_by))
+        text = " ".join(parts)
+        if self.union_all is not None:
+            text += " UNION ALL " + self.union_all.sql()
+        return text
+
+
+class Statement:
+    """Base class for script statements."""
+
+
+@dataclass(frozen=True)
+class ExtractStatement(Statement):
+    """``name = EXTRACT a:int, b:string FROM "path";``"""
+
+    target: str
+    columns: tuple[Column, ...]
+    path: str
+
+    def sql(self) -> str:
+        cols = ", ".join(str(col) for col in self.columns)
+        return f'{self.target} = EXTRACT {cols} FROM "{self.path}";'
+
+
+@dataclass(frozen=True)
+class AssignStatement(Statement):
+    """``name = SELECT ...;`` — defines a named rowset."""
+
+    target: str
+    query: SelectQuery
+
+    def sql(self) -> str:
+        return f"{self.target} = {self.query.sql()};"
+
+
+@dataclass(frozen=True)
+class OutputStatement(Statement):
+    """``OUTPUT name TO "path";`` — one output tree root of the job DAG."""
+
+    source: str
+    path: str
+
+    def sql(self) -> str:
+        return f'OUTPUT {self.source} TO "{self.path}";'
+
+
+@dataclass(frozen=True)
+class Script:
+    """A full SCOPE script: an ordered list of statements."""
+
+    statements: tuple[Statement, ...] = field(default_factory=tuple)
+
+    def sql(self) -> str:
+        return "\n".join(stmt.sql() for stmt in self.statements)
+
+    @property
+    def outputs(self) -> tuple[OutputStatement, ...]:
+        return tuple(s for s in self.statements if isinstance(s, OutputStatement))
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def make_conjunction(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild a predicate from conjuncts (inverse of :func:`split_conjuncts`)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BinaryOp("AND", result, conjunct)
+    return result
+
+
+def columns_in(expr: Expr) -> set[ColumnRef]:
+    """Return every column referenced anywhere inside ``expr``."""
+    found: set[ColumnRef] = set()
+    _walk_columns(expr, found)
+    return found
+
+
+def _walk_columns(expr: Expr, acc: set[ColumnRef]) -> None:
+    if isinstance(expr, ColumnRef):
+        acc.add(expr)
+    elif isinstance(expr, BinaryOp):
+        _walk_columns(expr.left, acc)
+        _walk_columns(expr.right, acc)
+    elif isinstance(expr, UnaryOp):
+        _walk_columns(expr.operand, acc)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            _walk_columns(arg, acc)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when ``expr`` contains an aggregate function call."""
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            return True
+        return any(contains_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    return False

@@ -1,0 +1,180 @@
+"""Tokenizer for the SCOPE-like scripting language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+__all__ = ["TokenKind", "Token", "Lexer", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "EXTRACT",
+        "FROM",
+        "SELECT",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "ON",
+        "AS",
+        "OUTPUT",
+        "TO",
+        "UNION",
+        "ALL",
+        "AND",
+        "OR",
+        "NOT",
+        "TRUE",
+        "FALSE",
+        "DISTINCT",
+        "DESC",
+        "ASC",
+    }
+)
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind == TokenKind.SYMBOL and self.text == sym
+
+
+_TWO_CHAR_SYMBOLS = ("==", "!=", "<=", ">=")
+_ONE_CHAR_SYMBOLS = "()+-*/%<>=,;:."
+
+
+class Lexer:
+    """Hand-written scanner producing a flat token list.
+
+    Comments start with ``//`` and run to end of line, as in SCOPE scripts.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind == TokenKind.EOF:
+                return result
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if not ch:
+            return Token(TokenKind.EOF, "", line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        two = self.text[self.pos : self.pos + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            self._advance(2)
+            return Token(TokenKind.SYMBOL, two, line, column)
+        if ch in _ONE_CHAR_SYMBOLS:
+            self._advance()
+            return Token(TokenKind.SYMBOL, ch, line, column)
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.text[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, line, column)
+        return Token(TokenKind.IDENT, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            else:
+                break
+        return Token(TokenKind.NUMBER, self.text[start : self.pos], line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexerError("unterminated string literal", line, column)
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.STRING, "".join(chars), line, column)
+            if ch == "\\" and self._peek(1) in ('"', "\\"):
+                chars.append(self._peek(1))
+                self._advance(2)
+            else:
+                chars.append(ch)
+                self._advance()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; convenience wrapper over :class:`Lexer`."""
+    return Lexer(text).tokens()

@@ -1,0 +1,314 @@
+"""Recursive-descent parser producing the AST of :mod:`repro.scope.language.ast`."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.scope.language import ast
+from repro.scope.language.lexer import Token, TokenKind, tokenize
+from repro.scope.types import Column, DataType
+
+__all__ = ["Parser", "parse_script"]
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.scope.language.ast.Script`.
+
+    Grammar (simplified)::
+
+        script      := statement* EOF
+        statement   := ident '=' (extract | select) ';'
+                     | 'OUTPUT' ident 'TO' string ';'
+        extract     := 'EXTRACT' column (',' column)* 'FROM' string
+        column      := ident ':' ident
+        select      := 'SELECT' items 'FROM' source join* where? group? having?
+                       order? ('UNION' 'ALL' select)?
+        source      := ident ('AS' ident)?
+        join        := ('INNER')? 'JOIN' source 'ON' expr
+        expr        := or_expr   (C-like precedence, '==' for equality)
+    """
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        where = f"line {token.line}, column {token.column}"
+        return ParseError(f"{message}, found {token.kind.value} {token.text!r} at {where}")
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self._peek().is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._peek().is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != TokenKind.IDENT:
+            raise self._error("expected identifier")
+        self._advance()
+        return token.text
+
+    def _expect_string(self) -> str:
+        token = self._peek()
+        if token.kind != TokenKind.STRING:
+            raise self._error("expected string literal")
+        self._advance()
+        return token.text
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _match_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> ast.Script:
+        statements: list[ast.Statement] = []
+        while self._peek().kind != TokenKind.EOF:
+            statements.append(self._statement())
+        if not statements:
+            raise ParseError("empty script")
+        return ast.Script(tuple(statements))
+
+    def _statement(self) -> ast.Statement:
+        if self._peek().is_keyword("OUTPUT"):
+            return self._output_statement()
+        target = self._expect_ident()
+        self._expect_symbol("=")
+        if self._peek().is_keyword("EXTRACT"):
+            statement = self._extract_statement(target)
+        elif self._peek().is_keyword("SELECT"):
+            statement = ast.AssignStatement(target, self._select_query())
+        else:
+            raise self._error("expected EXTRACT or SELECT")
+        self._expect_symbol(";")
+        return statement
+
+    def _output_statement(self) -> ast.OutputStatement:
+        self._expect_keyword("OUTPUT")
+        source = self._expect_ident()
+        self._expect_keyword("TO")
+        path = self._expect_string()
+        self._expect_symbol(";")
+        return ast.OutputStatement(source, path)
+
+    def _extract_statement(self, target: str) -> ast.ExtractStatement:
+        self._expect_keyword("EXTRACT")
+        columns = [self._column_def()]
+        while self._match_symbol(","):
+            columns.append(self._column_def())
+        self._expect_keyword("FROM")
+        path = self._expect_string()
+        return ast.ExtractStatement(target, tuple(columns), path)
+
+    def _column_def(self) -> Column:
+        name = self._expect_ident()
+        self._expect_symbol(":")
+        type_name = self._expect_ident()
+        return Column(name, DataType.parse(type_name))
+
+    def _select_query(self) -> ast.SelectQuery:
+        self._expect_keyword("SELECT")
+        items = [self._select_item()]
+        while self._match_symbol(","):
+            items.append(self._select_item())
+        self._expect_keyword("FROM")
+        source = self._source()
+        where = self._expression() if self._match_keyword("WHERE") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys = [self._expression()]
+            while self._match_symbol(","):
+                keys.append(self._expression())
+            group_by = tuple(keys)
+        having = self._expression() if self._match_keyword("HAVING") else None
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            orders = [self._order_item()]
+            while self._match_symbol(","):
+                orders.append(self._order_item())
+            order_by = tuple(orders)
+        union_all = None
+        if self._match_keyword("UNION"):
+            self._expect_keyword("ALL")
+            union_all = self._select_query()
+        return ast.SelectQuery(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            union_all=union_all,
+        )
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expression()
+        if self._match_keyword("DESC"):
+            return ast.OrderItem(expr, ascending=False)
+        self._match_keyword("ASC")
+        return ast.OrderItem(expr, ascending=True)
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._peek().is_symbol("*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        expr = self._expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def _source(self) -> ast.Source:
+        source: ast.Source = self._table_source()
+        while True:
+            kind = "INNER"
+            if self._peek().is_keyword("INNER") and self._peek(1).is_keyword("JOIN"):
+                self._advance()
+            elif self._peek().is_keyword("LEFT") and self._peek(1).is_keyword("JOIN"):
+                self._advance()
+                kind = "LEFT"
+            elif not self._peek().is_keyword("JOIN"):
+                return source
+            self._expect_keyword("JOIN")
+            right = self._table_source()
+            self._expect_keyword("ON")
+            condition = self._expression()
+            source = ast.JoinSource(source, right, condition, kind)
+
+    def _table_source(self) -> ast.TableSource:
+        name = self._expect_ident()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        return ast.TableSource(name, alias)
+
+    # -- expressions (precedence climbing) ---------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == TokenKind.SYMBOL and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._additive()
+            return ast.BinaryOp(token.text, left, right)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while self._peek().kind == TokenKind.SYMBOL and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = ast.BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while self._peek().kind == TokenKind.SYMBOL and self._peek().text in ("*", "/", "%"):
+            op = self._advance().text
+            left = ast.BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self._peek().is_symbol("-"):
+            self._advance()
+            return ast.UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_symbol("("):
+            self._advance()
+            expr = self._expression()
+            self._expect_symbol(")")
+            return expr
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            if "." in token.text:
+                return ast.Literal(float(token.text), DataType.DOUBLE)
+            return ast.Literal(int(token.text), DataType.LONG)
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return ast.Literal(token.text, DataType.STRING)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True, DataType.BOOL)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False, DataType.BOOL)
+        if token.kind == TokenKind.IDENT:
+            return self._identifier_expr()
+        raise self._error("expected expression")
+
+    def _identifier_expr(self) -> ast.Expr:
+        name = self._expect_ident()
+        if self._peek().is_symbol("("):
+            self._advance()
+            distinct = self._match_keyword("DISTINCT")
+            args: list[ast.Expr] = []
+            if self._peek().is_symbol("*"):
+                self._advance()
+                args.append(ast.Star())
+            elif not self._peek().is_symbol(")"):
+                args.append(self._expression())
+                while self._match_symbol(","):
+                    args.append(self._expression())
+            self._expect_symbol(")")
+            return ast.FuncCall(name.upper(), tuple(args), distinct)
+        if self._peek().is_symbol("."):
+            self._advance()
+            column = self._expect_ident()
+            return ast.ColumnRef(column, qualifier=name)
+        return ast.ColumnRef(name)
+
+
+def parse_script(text: str) -> ast.Script:
+    """Parse script ``text`` into an AST; raises :class:`ParseError` on bad input."""
+    return Parser(tokenize(text)).parse()

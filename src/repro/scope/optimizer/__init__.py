@@ -1,0 +1,24 @@
+"""The cascades-style rule-based optimizer."""
+
+from repro.scope.optimizer.engine import OptimizationResult, Optimizer
+from repro.scope.optimizer.rules.base import (
+    Rule,
+    RuleCategory,
+    RuleConfiguration,
+    RuleFlip,
+    RuleRegistry,
+    RuleSignature,
+    default_registry,
+)
+
+__all__ = [
+    "Optimizer",
+    "OptimizationResult",
+    "Rule",
+    "RuleCategory",
+    "RuleConfiguration",
+    "RuleFlip",
+    "RuleRegistry",
+    "RuleSignature",
+    "default_registry",
+]

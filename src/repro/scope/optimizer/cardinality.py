@@ -1,0 +1,142 @@
+"""Cardinality derivation: (true, estimated) row counts per memo group.
+
+Both numbers are derived with the *same* operator formulas; they differ only
+through the ingredients supplied by :class:`~repro.scope.data.DataModel`
+(true selectivities carry reality factors, estimated ones use textbook
+assumptions over stale statistics).  Estimation error therefore compounds
+with plan depth exactly as in real optimizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.scope.catalog import Catalog
+from repro.scope.data import ColumnOrigin, DataModel, SelEstimate
+from repro.scope.plan import logical
+
+__all__ = ["GroupStats", "CardinalityModel"]
+
+#: a partial (local) aggregate emits up to this many copies of each group
+#: (one per producing vertex, bounded); applied to true and estimate alike
+_PARTIAL_AGG_DUPLICATION = 8.0
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Cardinalities and width shared by all expressions of a memo group."""
+
+    true_rows: float
+    est_rows: float
+    row_width: int
+
+    @property
+    def true_bytes(self) -> float:
+        return self.true_rows * self.row_width
+
+    @property
+    def est_bytes(self) -> float:
+        return self.est_rows * self.row_width
+
+
+class CardinalityModel:
+    """Derives group statistics bottom-up from operator semantics."""
+
+    def __init__(
+        self,
+        data_model: DataModel,
+        catalog: Catalog,
+        origins: dict[str, ColumnOrigin],
+    ) -> None:
+        self.data_model = data_model
+        self.catalog = catalog
+        self.origins = origins
+
+    def derive(self, op: logical.LogicalOp, child_stats: list[GroupStats]) -> GroupStats:
+        """Stats of the group a fresh expression of ``op`` would belong to."""
+        width = op.schema.row_width
+        if isinstance(op, logical.Get):
+            true_rows = float(op.table.row_count)
+            est_rows = self.catalog.estimated_row_count(op.table.name)
+            return GroupStats(true_rows, est_rows, width)
+        if isinstance(op, logical.Filter):
+            (child,) = child_stats
+            sel = self.data_model.predicate_selectivity(op.predicate, self.origins)
+            return GroupStats(child.true_rows * sel.true, child.est_rows * sel.est, width)
+        if isinstance(op, logical.Project):
+            (child,) = child_stats
+            return GroupStats(child.true_rows, child.est_rows, width)
+        if isinstance(op, logical.Join):
+            return self._derive_join(op, child_stats)
+        if isinstance(op, logical.Aggregate):
+            return self._derive_aggregate(op, child_stats)
+        if isinstance(op, logical.UnionAll):
+            left, right = child_stats
+            return GroupStats(
+                left.true_rows + right.true_rows, left.est_rows + right.est_rows, width
+            )
+        if isinstance(op, (logical.Sort, logical.Output)):
+            (child,) = child_stats
+            return GroupStats(child.true_rows, child.est_rows, width)
+        if isinstance(op, logical.SuperRoot):
+            return GroupStats(0.0, 0.0, 1)
+        raise OptimizationError(f"no cardinality rule for {type(op).__name__}")
+
+    def _derive_join(self, op: logical.Join, child_stats: list[GroupStats]) -> GroupStats:
+        """Join output cardinality.
+
+        The result of a join does not depend on whether equality conjuncts
+        have been *promoted* to equi-keys yet (that is a physical search
+        concern), so implied key pairs are extracted from the residual here
+        — both the pre- and post-``JoinResidualToKeys`` expressions of a
+        memo group get identical statistics.
+        """
+        left, right = child_stats
+        keys, rest = self._effective_keys(op)
+        sel = self.data_model.join_selectivity(keys, self.origins)
+        true_rows = left.true_rows * right.true_rows * sel.true
+        est_rows = left.est_rows * right.est_rows * sel.est
+        if rest is not None:
+            residual = self.data_model.predicate_selectivity(rest, self.origins)
+            true_rows *= residual.true
+            est_rows *= residual.est
+        return GroupStats(max(true_rows, 0.0), max(est_rows, 0.0), op.schema.row_width)
+
+    @staticmethod
+    def _effective_keys(op: logical.Join):
+        """op.equi_keys plus cross-side equality conjuncts of the residual."""
+        from repro.scope.language import ast
+
+        keys = list(op.equi_keys)
+        rest: list = []
+        left_cols = set(op.children[0].schema.names)
+        right_cols = set(op.children[1].schema.names)
+        for conjunct in ast.split_conjuncts(op.residual):
+            pair = None
+            if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "==":
+                a, b = conjunct.left, conjunct.right
+                if isinstance(a, ast.ColumnRef) and isinstance(b, ast.ColumnRef):
+                    if a.name in left_cols and b.name in right_cols:
+                        pair = (a.name, b.name)
+                    elif b.name in left_cols and a.name in right_cols:
+                        pair = (b.name, a.name)
+            if pair is not None:
+                keys.append(pair)
+            else:
+                rest.append(conjunct)
+        return tuple(keys), ast.make_conjunction(rest)
+
+    def _derive_aggregate(
+        self, op: logical.Aggregate, child_stats: list[GroupStats]
+    ) -> GroupStats:
+        (child,) = child_stats
+        groups = self.data_model.group_count(
+            SelEstimate(true=child.true_rows, est=child.est_rows), op.keys, self.origins
+        )
+        true_rows, est_rows = groups.true, groups.est
+        if op.is_partial:
+            # each vertex emits its local groups: bounded duplication
+            true_rows = min(child.true_rows, true_rows * _PARTIAL_AGG_DUPLICATION)
+            est_rows = min(child.est_rows, est_rows * _PARTIAL_AGG_DUPLICATION)
+        return GroupStats(true_rows, est_rows, op.schema.row_width)

@@ -1,0 +1,300 @@
+"""The optimization engine: normalize → explore → implement → extract.
+
+A bounded cascades search.  Like any production optimizer it is *not* an
+exhaustive cost minimizer: exploration runs off a FIFO worklist under
+per-group and global expansion budgets, so the set of plans considered
+depends on which rules fire and in what order.  This is deliberate and
+load-bearing: it is why flipping a rule **off** can occasionally free
+budget for a *better* plan, the non-monotonicity that makes QO-Advisor's
+single-rule-flip search space interesting (paper §2.2, Table 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import ClusterConfig
+from repro.errors import OptimizationError
+from repro.scope.compile import CompiledScript
+from repro.scope.data import DataModel
+from repro.scope.optimizer.cardinality import CardinalityModel, GroupStats
+from repro.scope.optimizer.cost import CostModel
+from repro.scope.optimizer.memo import Group, GroupExpression, Memo, Winner
+from repro.scope.optimizer.rules.base import (
+    ImplementationRule,
+    RuleCategory,
+    RuleConfiguration,
+    RuleRegistry,
+    RuleSignature,
+    TransformationRule,
+)
+from repro.scope.optimizer.rules.normalization import NormalizationRule
+from repro.scope.plan.physical import Exchange, PhysicalOp, PhysicalPlanNode, SortExec
+from repro.scope.plan.properties import DistributionKind, PhysProps
+
+__all__ = ["Optimizer", "OptimizationResult", "SearchBudget"]
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Exploration bounds (production optimizers bound their task queues)."""
+
+    max_exprs_per_group: int = 12
+    max_total_exprs: int = 1500
+    max_transformations: int = 600
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one compilation: plan, estimated cost, rule signature."""
+
+    plan: PhysicalPlanNode
+    est_cost: float
+    signature: RuleSignature
+    config: RuleConfiguration
+    memo: Memo = field(repr=False, default=None)
+
+    @property
+    def signature_ids(self) -> frozenset[int]:
+        return self.signature.rule_ids
+
+
+class Optimizer:
+    """Cascades-style optimizer over a rule registry and configuration."""
+
+    def __init__(
+        self,
+        registry: RuleRegistry,
+        config: RuleConfiguration,
+        data_model: DataModel,
+        cluster: ClusterConfig | None = None,
+        budget: SearchBudget | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config
+        self.data_model = data_model
+        self.cluster = cluster or ClusterConfig()
+        self.budget = budget or SearchBudget()
+        self.cost_model = CostModel(self.cluster)
+        self._normalization = [r for r in registry if isinstance(r, NormalizationRule)]
+        self._transformations = [
+            r
+            for r in registry
+            if isinstance(r, TransformationRule) and self._enabled(r)
+        ]
+        self._implementations = [
+            r
+            for r in registry
+            if isinstance(r, ImplementationRule) and self._enabled(r)
+        ]
+        self._exchange_rule_id = registry.by_name("EnforceDataExchange").rule_id
+        self._sort_rule_id = registry.by_name("EnforceSortOrder").rule_id
+
+    def _enabled(self, rule) -> bool:
+        if rule.category == RuleCategory.REQUIRED:
+            return True
+        return self.config.is_enabled(rule.rule_id)
+
+    # -- public API ---------------------------------------------------------
+
+    def optimize(self, compiled: CompiledScript) -> OptimizationResult:
+        """Optimize a compiled job; raises OptimizationError on failure."""
+        signature_ids: set[int] = set()
+        root = self._normalize(compiled, signature_ids)
+
+        cardinality = CardinalityModel(self.data_model, self.data_model.catalog, compiled.origins)
+        memo = Memo(
+            cardinality,
+            max_exprs_per_group=self.budget.max_exprs_per_group,
+            max_total_exprs=self.budget.max_total_exprs,
+        )
+        root_group = memo.insert_tree(root)
+        if root_group is None:
+            raise OptimizationError("initial plan exceeded the memo budget")
+
+        self._explore(memo)
+        self._implement(memo)
+
+        required = PhysProps.any()
+        winner = self._best(memo, root_group, required)
+        if winner is None:
+            raise OptimizationError(
+                "no physical plan under the current rule configuration"
+            )
+        cache: dict[tuple[int, PhysProps], PhysicalPlanNode] = {}
+        plan = self._extract(memo, root_group, required, signature_ids, cache)
+        signature = RuleSignature.from_ids(signature_ids, len(self.registry))
+        return OptimizationResult(
+            plan=plan,
+            est_cost=winner.cost,
+            signature=signature,
+            config=self.config,
+            memo=memo,
+        )
+
+    # -- phases ------------------------------------------------------------
+
+    def _normalize(self, compiled: CompiledScript, signature_ids: set[int]):
+        root = compiled.root
+        for _ in range(5):
+            changed_any = False
+            for rule in self._normalization:
+                root, changed = rule.normalize(root, compiled.origins)
+                if changed:
+                    signature_ids.add(rule.rule_id)
+                    changed_any = True
+            if not changed_any:
+                break
+        return root
+
+    def _explore(self, memo: Memo) -> None:
+        worklist: deque[GroupExpression] = deque(memo.drain_journal())
+        applications = 0
+        while worklist and applications < self.budget.max_transformations:
+            expr = worklist.popleft()
+            if not expr.is_logical:
+                continue
+            for rule in self._transformations:
+                if rule.rule_id in expr.fired:
+                    continue
+                expr.fired.add(rule.rule_id)
+                applications += 1
+                for tree in rule.apply(expr, memo):
+                    memo.insert_tree(
+                        tree,
+                        provenance=expr.provenance | {rule.rule_id},
+                        target_group=expr.group,
+                    )
+                worklist.extend(memo.drain_journal())
+                if applications >= self.budget.max_transformations:
+                    break
+
+    def _implement(self, memo: Memo) -> None:
+        for group in memo.groups:
+            for expr in list(group.logical_exprs):
+                for rule in self._implementations:
+                    for op in rule.build(expr, memo):
+                        memo.add_physical(
+                            group, op, expr.child_ids, expr.provenance | {rule.rule_id}
+                        )
+            group.implemented = True
+
+    # -- cost-based selection --------------------------------------------------
+
+    def _best(self, memo: Memo, group: Group, required: PhysProps) -> Winner | None:
+        if required in group.winners:
+            return group.winners[required]
+        group.winners[required] = None  # cycle guard: re-entry sees "no plan"
+        best: Winner | None = None
+        for expr in group.physical_exprs:
+            candidate = self._cost_expression(memo, group, expr, required)
+            if candidate is not None and (best is None or candidate.cost < best.cost):
+                best = candidate
+        group.winners[required] = best
+        return best
+
+    def _cost_expression(
+        self, memo: Memo, group: Group, expr: GroupExpression, required: PhysProps
+    ) -> Winner | None:
+        op: PhysicalOp = expr.op
+        child_reqs = op.child_requirements()
+        if len(child_reqs) != len(expr.child_ids):
+            return None
+        child_stats: list[GroupStats] = []
+        child_delivered: list[PhysProps] = []
+        cost = 0.0
+        for child_id, child_req in zip(expr.child_ids, child_reqs):
+            child_group = memo.group(child_id)
+            child_winner = self._best(memo, child_group, child_req)
+            if child_winner is None:
+                return None
+            cost += child_winner.cost
+            child_stats.append(child_group.stats)
+            child_delivered.append(child_winner.delivered)
+        cost += self.cost_model.local_cost(op, group.stats, child_stats)
+        delivered = op.delivered(tuple(child_delivered))
+        enforcers: list[PhysicalOp] = []
+        if not delivered.satisfies(required):
+            enforcers, enforcer_cost, delivered = self._enforce(group, delivered, required)
+            if enforcers is None:
+                return None
+            cost += enforcer_cost
+        return Winner(
+            expr=expr,
+            cost=cost,
+            enforcers=tuple(enforcers),
+            delivered=delivered,
+            child_props=tuple(child_reqs),
+        )
+
+    def _enforce(
+        self, group: Group, delivered: PhysProps, required: PhysProps
+    ) -> tuple[list[PhysicalOp] | None, float, PhysProps]:
+        """Bridge a property mismatch with Exchange and/or Sort enforcers."""
+        ops: list[PhysicalOp] = []
+        cost = 0.0
+        distribution = delivered.distribution
+        sort_keys = delivered.sort_keys
+        if (
+            required.distribution.kind != DistributionKind.ANY
+            and not distribution.satisfies(required.distribution)
+        ):
+            ops.append(Exchange(required.distribution, group.schema))
+            cost += self.cost_model.exchange_cost(required.distribution, group.stats)
+            distribution = required.distribution
+            sort_keys = ()  # an exchange destroys ordering
+        if required.sort_keys and sort_keys[: len(required.sort_keys)] != required.sort_keys:
+            ops.append(SortExec(required.sort_keys, group.schema))
+            cost += self.cost_model.sort_enforcer_cost(group.stats)
+            sort_keys = required.sort_keys
+        final = PhysProps(distribution, sort_keys)
+        if not final.satisfies(required):
+            return None, 0.0, final
+        return ops, cost, final
+
+    # -- plan extraction -----------------------------------------------------------
+
+    def _extract(
+        self,
+        memo: Memo,
+        group: Group,
+        required: PhysProps,
+        signature_ids: set[int],
+        cache: dict[tuple[int, PhysProps], PhysicalPlanNode],
+    ) -> PhysicalPlanNode:
+        key = (group.group_id, required)
+        if key in cache:
+            return cache[key]
+        winner = group.winners.get(required)
+        if winner is None or winner.expr is None:
+            raise OptimizationError(f"no winner for group {group.group_id} @ {required}")
+        children = [
+            self._extract(memo, memo.group(cid), creq, signature_ids, cache)
+            for cid, creq in zip(winner.expr.child_ids, winner.child_props)
+        ]
+        delivered = winner.expr.op.delivered(tuple(c.props for c in children))
+        node = PhysicalPlanNode(
+            op=winner.expr.op,
+            children=children,
+            est_rows=group.stats.est_rows,
+            true_rows=group.stats.true_rows,
+            props=delivered,
+            group_id=group.group_id,
+        )
+        signature_ids.update(winner.expr.provenance)
+        for enforcer in winner.enforcers:
+            if isinstance(enforcer, Exchange):
+                signature_ids.add(self._exchange_rule_id)
+            elif isinstance(enforcer, SortExec):
+                signature_ids.add(self._sort_rule_id)
+            node = PhysicalPlanNode(
+                op=enforcer,
+                children=[node],
+                est_rows=group.stats.est_rows,
+                true_rows=group.stats.true_rows,
+                props=enforcer.delivered((node.props,)),
+                group_id=group.group_id,
+            )
+        cache[key] = node
+        return node

@@ -1,0 +1,246 @@
+"""The memo: groups of logically equivalent expressions.
+
+Structure follows the cascades framework (Graefe, 1995): a *group* collects
+logically equivalent expressions; a *group expression* is an operator over
+child groups.  Transformation rules add logical alternatives to an existing
+group; implementation rules add physical expressions.  Structural interning
+gives common-subexpression sharing across the output trees of a job DAG for
+free (shared rowsets land in the same groups).
+
+Every group expression carries a *provenance* set: the ids of the rules
+whose firing produced it (transitively).  The provenance of the winning
+plan's expressions becomes the job's rule signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+from repro.scope.optimizer.cardinality import CardinalityModel, GroupStats
+from repro.scope.plan import logical
+from repro.scope.plan.physical import PhysicalOp
+from repro.scope.plan.properties import PhysProps
+from repro.scope.types import Schema
+
+__all__ = ["GroupHandle", "Group", "GroupExpression", "Winner", "Memo"]
+
+
+class GroupHandle(logical.LogicalOp):
+    """A leaf placeholder referencing an existing memo group.
+
+    Transformation rules build their output trees over group handles so the
+    memo can wire new expressions to existing groups without re-interning
+    whole subtrees.
+    """
+
+    name = "GroupHandle"
+
+    def __init__(self, group: "Group") -> None:
+        super().__init__((), group.schema)
+        self.group = group
+
+    def local_key(self) -> str:
+        return f"@{self.group.group_id}"
+
+    def with_children(self, children: tuple[logical.LogicalOp, ...]) -> "GroupHandle":
+        assert not children
+        return self
+
+
+@dataclass
+class GroupExpression:
+    """One operator over child groups, logical or physical."""
+
+    op: logical.LogicalOp | PhysicalOp
+    child_ids: tuple[int, ...]
+    group: "Group"
+    provenance: frozenset[int]
+    is_logical: bool
+
+    #: transformation rules already fired on this expression (engine state)
+    fired: set[int] = field(default_factory=set)
+
+    def key(self) -> tuple[str, tuple[int, ...]]:
+        return (self.op.local_key(), self.child_ids)
+
+    def __repr__(self) -> str:
+        kind = "L" if self.is_logical else "P"
+        return f"<{kind} {self.op.local_key()} -> {self.child_ids}>"
+
+
+@dataclass
+class Winner:
+    """Best physical alternative of a group for one required property set."""
+
+    expr: GroupExpression | None
+    cost: float
+    #: enforcer operators applied on top of ``expr`` (innermost first)
+    enforcers: tuple[PhysicalOp, ...]
+    delivered: PhysProps
+    child_props: tuple[PhysProps, ...]
+
+
+class Group:
+    """A set of logically equivalent expressions plus search state."""
+
+    def __init__(self, group_id: int, schema: Schema, stats: GroupStats) -> None:
+        self.group_id = group_id
+        self.schema = schema
+        self.stats = stats
+        self.logical_exprs: list[GroupExpression] = []
+        self.physical_exprs: list[GroupExpression] = []
+        self.winners: dict[PhysProps, Winner | None] = {}
+        self.implemented = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Group {self.group_id} L={len(self.logical_exprs)} "
+            f"P={len(self.physical_exprs)} rows~{self.stats.est_rows:.0f}>"
+        )
+
+
+class Memo:
+    """Group store with structural interning and expansion budgets.
+
+    ``max_exprs_per_group`` and ``max_total_exprs`` bound the search the way
+    production optimizers bound their task queues; hitting a budget silently
+    drops alternatives, which is precisely why disabling a rule can free
+    room for a *better* plan — the non-monotonicity QO-Advisor exploits.
+    """
+
+    def __init__(
+        self,
+        cardinality: CardinalityModel,
+        *,
+        max_exprs_per_group: int = 12,
+        max_total_exprs: int = 1200,
+    ) -> None:
+        self.cardinality = cardinality
+        self.groups: list[Group] = []
+        self.max_exprs_per_group = max_exprs_per_group
+        self.max_total_exprs = max_total_exprs
+        self.total_exprs = 0
+        self.dropped_exprs = 0
+        #: journal of newly created logical expressions; the engine drains it
+        #: to feed its exploration worklist
+        self.journal: list[GroupExpression] = []
+        self._intern: dict[tuple[str, tuple[int, ...]], GroupExpression] = {}
+
+    def group(self, group_id: int) -> Group:
+        return self.groups[group_id]
+
+    def handle(self, group: Group) -> GroupHandle:
+        return GroupHandle(group)
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert_tree(
+        self,
+        op: logical.LogicalOp,
+        provenance: frozenset[int] = frozenset(),
+        target_group: Group | None = None,
+    ) -> Group | None:
+        """Intern a logical operator tree; return the group of its root.
+
+        ``target_group`` forces the root expression into an existing group
+        (used by transformation rules, whose output is by definition
+        equivalent to the source group).  Returns ``None`` when the budget
+        rejected the root expression and it did not already exist.
+        """
+        if isinstance(op, GroupHandle):
+            return op.group
+        child_groups: list[Group] = []
+        for child in op.children:
+            child_group = self.insert_tree(child, provenance, None)
+            if child_group is None:
+                return None
+            child_groups.append(child_group)
+        child_ids = tuple(g.group_id for g in child_groups)
+        key = ("L:" + op.local_key(), child_ids)
+
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing.group
+
+        if target_group is None:
+            stats = self.cardinality.derive(op, [g.stats for g in child_groups])
+            target_group = self._new_group(op.schema, stats)
+        if not self._budget_allows(target_group):
+            self.dropped_exprs += 1
+            return None
+        expr = GroupExpression(
+            op=op,
+            child_ids=child_ids,
+            group=target_group,
+            provenance=provenance,
+            is_logical=True,
+        )
+        target_group.logical_exprs.append(expr)
+        self._intern[key] = expr
+        self.total_exprs += 1
+        self.journal.append(expr)
+        return target_group
+
+    def drain_journal(self) -> list[GroupExpression]:
+        """Return and clear the journal of newly created logical expressions."""
+        drained = self.journal
+        self.journal = []
+        return drained
+
+    def add_physical(
+        self,
+        group: Group,
+        op: PhysicalOp,
+        child_ids: tuple[int, ...],
+        provenance: frozenset[int],
+    ) -> GroupExpression | None:
+        """Add a physical expression to ``group`` (dedup by structural key)."""
+        key = ("P:" + op.local_key(), child_ids)
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing
+        expr = GroupExpression(
+            op=op,
+            child_ids=child_ids,
+            group=group,
+            provenance=provenance,
+            is_logical=False,
+        )
+        group.physical_exprs.append(expr)
+        self._intern[key] = expr
+        return expr
+
+    # -- internals -----------------------------------------------------------
+
+    def _new_group(self, schema: Schema, stats: GroupStats) -> Group:
+        group = Group(len(self.groups), schema, stats)
+        self.groups.append(group)
+        return group
+
+    def _budget_allows(self, group: Group) -> bool:
+        if self.total_exprs >= self.max_total_exprs:
+            return False
+        return len(group.logical_exprs) < self.max_exprs_per_group
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"memo: {len(self.groups)} groups, {self.total_exprs} exprs"]
+        for group in self.groups:
+            lines.append(f"  {group!r}")
+            for expr in group.logical_exprs:
+                lines.append(f"    {expr!r}")
+            for expr in group.physical_exprs:
+                lines.append(f"    {expr!r}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests)."""
+        for group in self.groups:
+            for expr in group.logical_exprs + group.physical_exprs:
+                if expr.group is not group:
+                    raise OptimizationError("expression points at the wrong group")
+                for child_id in expr.child_ids:
+                    if not 0 <= child_id < len(self.groups):
+                        raise OptimizationError("dangling child group id")

@@ -1,0 +1,21 @@
+"""Optimizer rules: framework, transformation and implementation rules."""
+
+from repro.scope.optimizer.rules.base import (
+    Rule,
+    RuleCategory,
+    RuleConfiguration,
+    RuleFlip,
+    RuleRegistry,
+    RuleSignature,
+    default_registry,
+)
+
+__all__ = [
+    "Rule",
+    "RuleCategory",
+    "RuleConfiguration",
+    "RuleFlip",
+    "RuleRegistry",
+    "RuleSignature",
+    "default_registry",
+]

@@ -1,0 +1,233 @@
+"""Rule framework: categories, registry, configurations, signatures, flips.
+
+This is the machinery the whole paper revolves around:
+
+* every rule belongs to one of SCOPE's four categories (§2.1): *required*,
+  *on-by-default*, *off-by-default* and *implementation*;
+* a :class:`RuleConfiguration` is the bitvector of enabled rules the
+  optimizer runs under — the default configuration enables everything
+  except the off-by-default rules;
+* a :class:`RuleSignature` is the bitvector of rules that *directly
+  contributed to the final plan* (§2.1), returned by every compilation;
+* a :class:`RuleFlip` is QO-Advisor's single-rule action: turn exactly one
+  non-required rule on or off relative to the default configuration (§2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import OptimizationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scope.optimizer.memo import GroupExpression, Memo
+    from repro.scope.plan.logical import LogicalOp
+    from repro.scope.plan.physical import PhysicalOp
+
+__all__ = [
+    "RuleCategory",
+    "Rule",
+    "TransformationRule",
+    "ImplementationRule",
+    "RuleRegistry",
+    "RuleConfiguration",
+    "RuleSignature",
+    "RuleFlip",
+    "default_registry",
+]
+
+
+class RuleCategory(enum.Enum):
+    """SCOPE's four rule categories (paper §2.1)."""
+
+    REQUIRED = "required"
+    ON_BY_DEFAULT = "on_by_default"
+    OFF_BY_DEFAULT = "off_by_default"
+    IMPLEMENTATION = "implementation"
+
+    @property
+    def default_enabled(self) -> bool:
+        return self != RuleCategory.OFF_BY_DEFAULT
+
+
+class Rule:
+    """Base class for optimizer rules.
+
+    ``rule_id`` is assigned by the registry; it is the bit position of the
+    rule in configurations, signatures and spans.
+    """
+
+    name: str = "rule"
+    category: RuleCategory = RuleCategory.ON_BY_DEFAULT
+
+    def __init__(self) -> None:
+        self.rule_id: int = -1
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} #{self.rule_id} {self.name} [{self.category.value}]>"
+
+
+class TransformationRule(Rule):
+    """Produces alternative logical expressions for a memo group."""
+
+    def apply(self, expr: "GroupExpression", memo: "Memo") -> list["LogicalOp"]:
+        """Return alternative logical trees (with GroupHandle leaves)."""
+        raise NotImplementedError
+
+
+class ImplementationRule(Rule):
+    """Maps a logical group expression onto physical operator templates."""
+
+    def build(self, expr: "GroupExpression", memo: "Memo") -> list["PhysicalOp"]:
+        """Return physical operators implementing ``expr`` over its children."""
+        raise NotImplementedError
+
+
+class RuleRegistry:
+    """Ordered collection of rules; rule ids are stable registration indexes."""
+
+    def __init__(self) -> None:
+        self._rules: list[Rule] = []
+        self._by_name: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.name in self._by_name:
+            raise OptimizationError(f"duplicate rule name {rule.name!r}")
+        rule.rule_id = len(self._rules)
+        self._rules.append(rule)
+        self._by_name[rule.name] = rule
+        return rule
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def rule(self, rule_id: int) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except IndexError as exc:
+            raise OptimizationError(f"unknown rule id {rule_id}") from exc
+
+    def by_name(self, name: str) -> Rule:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise OptimizationError(f"unknown rule {name!r}") from exc
+
+    def ids_in_category(self, category: RuleCategory) -> list[int]:
+        return [rule.rule_id for rule in self._rules if rule.category == category]
+
+    @property
+    def flippable_ids(self) -> list[int]:
+        """Rules QO-Advisor may flip: everything except required rules."""
+        return [r.rule_id for r in self._rules if r.category != RuleCategory.REQUIRED]
+
+    def default_configuration(self) -> "RuleConfiguration":
+        bits = 0
+        for rule in self._rules:
+            if rule.category.default_enabled:
+                bits |= 1 << rule.rule_id
+        return RuleConfiguration(bits, len(self._rules))
+
+
+@dataclass(frozen=True)
+class RuleConfiguration:
+    """An immutable bitvector of enabled rules."""
+
+    bits: int
+    size: int
+
+    def is_enabled(self, rule_id: int) -> bool:
+        return bool(self.bits >> rule_id & 1)
+
+    def with_flip(self, rule_id: int) -> "RuleConfiguration":
+        """Return the configuration with ``rule_id`` toggled."""
+        if not 0 <= rule_id < self.size:
+            raise OptimizationError(f"rule id {rule_id} out of range")
+        return RuleConfiguration(self.bits ^ (1 << rule_id), self.size)
+
+    def with_flips(self, rule_ids: Iterable[int]) -> "RuleConfiguration":
+        config = self
+        for rule_id in rule_ids:
+            config = config.with_flip(rule_id)
+        return config
+
+    def enabled_ids(self) -> list[int]:
+        return [i for i in range(self.size) if self.is_enabled(i)]
+
+    def diff(self, other: "RuleConfiguration") -> list[int]:
+        """Rule ids where the two configurations differ."""
+        xor = self.bits ^ other.bits
+        return [i for i in range(max(self.size, other.size)) if xor >> i & 1]
+
+    def as_bitstring(self) -> str:
+        return "".join("1" if self.is_enabled(i) else "0" for i in range(self.size))
+
+
+@dataclass(frozen=True)
+class RuleSignature:
+    """The set of rules that directly contributed to a final plan (§2.1)."""
+
+    rule_ids: frozenset[int]
+    size: int
+
+    @staticmethod
+    def from_ids(rule_ids: Iterable[int], size: int) -> "RuleSignature":
+        return RuleSignature(frozenset(rule_ids), size)
+
+    def __contains__(self, rule_id: int) -> bool:
+        return rule_id in self.rule_ids
+
+    def __len__(self) -> int:
+        return len(self.rule_ids)
+
+    def as_bitstring(self) -> str:
+        return "".join("1" if i in self.rule_ids else "0" for i in range(self.size))
+
+    def non_required_ids(self, registry: RuleRegistry) -> frozenset[int]:
+        return frozenset(
+            rule_id
+            for rule_id in self.rule_ids
+            if registry.rule(rule_id).category != RuleCategory.REQUIRED
+        )
+
+
+@dataclass(frozen=True)
+class RuleFlip:
+    """QO-Advisor's action: flip exactly one rule against the default config.
+
+    ``turn_on`` is purely informational (derivable from the default
+    configuration); it is kept because hints files record it explicitly.
+    """
+
+    rule_id: int
+    turn_on: bool
+
+    def apply_to(self, config: RuleConfiguration) -> RuleConfiguration:
+        return config.with_flip(self.rule_id)
+
+    def describe(self, registry: RuleRegistry) -> str:
+        rule = registry.rule(self.rule_id)
+        action = "ON" if self.turn_on else "OFF"
+        return f"{action} {rule.name} (#{self.rule_id}, {rule.category.value})"
+
+
+def default_registry() -> RuleRegistry:
+    """Build the standard registry with every rule of this optimizer.
+
+    Imported lazily to avoid circular imports between the rule modules and
+    this framework module.
+    """
+    from repro.scope.optimizer.rules.implementation import register_implementation_rules
+    from repro.scope.optimizer.rules.normalization import register_normalization_rules
+    from repro.scope.optimizer.rules.transformation import register_transformation_rules
+
+    registry = RuleRegistry()
+    register_normalization_rules(registry)
+    register_transformation_rules(registry)
+    register_implementation_rules(registry)
+    return registry

@@ -1,0 +1,631 @@
+"""Transformation rules: logical → logical alternatives inside the memo.
+
+Each rule matches one group expression (and, for nested patterns, the
+logical expressions of its child groups — standard cascades one-level
+binding) and returns alternative trees built over
+:class:`~repro.scope.optimizer.memo.GroupHandle` leaves.
+
+Categories follow the paper: widely safe rewrites are *on-by-default*;
+rewrites that are experimental or sensitive to cardinality estimates are
+*off-by-default* (these are the rules QO-Advisor most often turns **on**).
+"""
+
+from __future__ import annotations
+
+from repro.scope.language import ast
+from repro.scope.optimizer.memo import GroupExpression, Memo
+from repro.scope.optimizer.rules.base import RuleCategory, RuleRegistry, TransformationRule
+from repro.scope.optimizer.rules.normalization import substitute_columns
+from repro.scope.plan import logical
+
+__all__ = ["register_transformation_rules"]
+
+
+def _columns_of(expr: ast.Expr) -> set[str]:
+    return {ref.name for ref in ast.columns_in(expr)}
+
+
+class FilterMerge(TransformationRule):
+    """Filter(Filter(X)) → Filter(X) with the conjoined predicate."""
+
+    name = "FilterMerge"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if isinstance(inner.op, logical.Filter):
+                merged = ast.make_conjunction(
+                    ast.split_conjuncts(expr.op.predicate)
+                    + ast.split_conjuncts(inner.op.predicate)
+                )
+                grand = memo.handle(memo.group(inner.child_ids[0]))
+                results.append(logical.Filter(grand, merged))
+        return results
+
+
+class FilterPushThroughProject(TransformationRule):
+    """Filter(Project(X)) → Project(Filter'(X)); predicate is substituted."""
+
+    name = "FilterPushThroughProject"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.Project):
+                continue
+            mapping = {name: item for name, item in inner.op.items}
+            pushed = substitute_columns(expr.op.predicate, mapping)
+            grand = memo.handle(memo.group(inner.child_ids[0]))
+            results.append(
+                logical.Project(logical.Filter(grand, pushed), inner.op.items, inner.op.schema)
+            )
+        return results
+
+
+class _FilterPushThroughJoinSide(TransformationRule):
+    """Move single-side conjuncts of Filter(Join(L,R)) below the join."""
+
+    side: int = 0  # 0 = left, 1 = right
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.Join):
+                continue
+            target_group = memo.group(inner.child_ids[self.side])
+            target_cols = set(target_group.schema.names)
+            pushable: list[ast.Expr] = []
+            rest: list[ast.Expr] = []
+            for conjunct in ast.split_conjuncts(expr.op.predicate):
+                if _columns_of(conjunct) and _columns_of(conjunct) <= target_cols:
+                    pushable.append(conjunct)
+                else:
+                    rest.append(conjunct)
+            if not pushable:
+                continue
+            sides = [memo.handle(memo.group(cid)) for cid in inner.child_ids]
+            sides[self.side] = logical.Filter(
+                sides[self.side], ast.make_conjunction(pushable)
+            )
+            join = inner.op.with_children((sides[0], sides[1]))
+            if rest:
+                results.append(logical.Filter(join, ast.make_conjunction(rest)))
+            else:
+                results.append(join)
+        return results
+
+
+class FilterPushThroughJoinLeft(_FilterPushThroughJoinSide):
+    name = "FilterPushThroughJoinLeft"
+    side = 0
+
+
+class FilterPushThroughJoinRight(_FilterPushThroughJoinSide):
+    name = "FilterPushThroughJoinRight"
+    side = 1
+
+
+class FilterPushThroughUnion(TransformationRule):
+    """Filter(UnionAll(A,B)) → UnionAll(Filter(A), Filter(B'))."""
+
+    name = "FilterPushThroughUnion"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.UnionAll):
+                continue
+            left_group = memo.group(inner.child_ids[0])
+            right_group = memo.group(inner.child_ids[1])
+            mapping = {
+                left: ast.ColumnRef(right)
+                for left, right in zip(left_group.schema.names, right_group.schema.names)
+            }
+            right_pred = substitute_columns(expr.op.predicate, mapping)
+            results.append(
+                logical.UnionAll(
+                    logical.Filter(memo.handle(left_group), expr.op.predicate),
+                    logical.Filter(memo.handle(right_group), right_pred),
+                )
+            )
+        return results
+
+
+class FilterPushThroughAggregate(TransformationRule):
+    """Push conjuncts that only touch group keys below the aggregation."""
+
+    name = "FilterPushThroughAggregate"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.Aggregate) or inner.op.is_partial:
+                continue
+            keys = set(inner.op.keys)
+            pushable: list[ast.Expr] = []
+            rest: list[ast.Expr] = []
+            for conjunct in ast.split_conjuncts(expr.op.predicate):
+                cols = _columns_of(conjunct)
+                if cols and cols <= keys:
+                    pushable.append(conjunct)
+                else:
+                    rest.append(conjunct)
+            if not pushable:
+                continue
+            grand = memo.handle(memo.group(inner.child_ids[0]))
+            agg = inner.op.with_children(
+                (logical.Filter(grand, ast.make_conjunction(pushable)),)
+            )
+            if rest:
+                results.append(logical.Filter(agg, ast.make_conjunction(rest)))
+            else:
+                results.append(agg)
+        return results
+
+
+class FilterPushThroughSort(TransformationRule):
+    """Filter(Sort(X)) → Sort(Filter(X)) — filter earlier, sort less."""
+
+    name = "FilterPushThroughSort"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if isinstance(inner.op, logical.Sort):
+                grand = memo.handle(memo.group(inner.child_ids[0]))
+                results.append(
+                    logical.Sort(logical.Filter(grand, expr.op.predicate), inner.op.keys)
+                )
+        return results
+
+
+class FilterIntoJoin(TransformationRule):
+    """Promote cross-side equality conjuncts of Filter(Join) to join keys."""
+
+    name = "FilterIntoJoin"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Filter):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.Join) or inner.op.kind != "INNER":
+                continue
+            left_cols = set(memo.group(inner.child_ids[0]).schema.names)
+            right_cols = set(memo.group(inner.child_ids[1]).schema.names)
+            new_keys: list[tuple[str, str]] = []
+            rest: list[ast.Expr] = []
+            for conjunct in ast.split_conjuncts(expr.op.predicate):
+                pair = _equi_pair(conjunct, left_cols, right_cols)
+                if pair is not None and pair not in inner.op.equi_keys:
+                    new_keys.append(pair)
+                else:
+                    rest.append(conjunct)
+            if not new_keys:
+                continue
+            left = memo.handle(memo.group(inner.child_ids[0]))
+            right = memo.handle(memo.group(inner.child_ids[1]))
+            join = logical.Join(
+                left,
+                right,
+                inner.op.kind,
+                inner.op.equi_keys + tuple(new_keys),
+                inner.op.residual,
+            )
+            if rest:
+                results.append(logical.Filter(join, ast.make_conjunction(rest)))
+            else:
+                results.append(join)
+        return results
+
+
+class JoinResidualToKeys(TransformationRule):
+    """Promote equality conjuncts in a join residual to equi-keys."""
+
+    name = "JoinResidualToKeys"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        op = expr.op
+        if not isinstance(op, logical.Join) or op.residual is None or op.kind != "INNER":
+            return []
+        left_cols = set(memo.group(expr.child_ids[0]).schema.names)
+        right_cols = set(memo.group(expr.child_ids[1]).schema.names)
+        new_keys: list[tuple[str, str]] = []
+        rest: list[ast.Expr] = []
+        for conjunct in ast.split_conjuncts(op.residual):
+            pair = _equi_pair(conjunct, left_cols, right_cols)
+            if pair is not None and pair not in op.equi_keys:
+                new_keys.append(pair)
+            else:
+                rest.append(conjunct)
+        if not new_keys:
+            return []
+        left = memo.handle(memo.group(expr.child_ids[0]))
+        right = memo.handle(memo.group(expr.child_ids[1]))
+        return [
+            logical.Join(
+                left,
+                right,
+                op.kind,
+                op.equi_keys + tuple(new_keys),
+                ast.make_conjunction(rest),
+            )
+        ]
+
+
+def _equi_pair(
+    conjunct: ast.Expr, left_cols: set[str], right_cols: set[str]
+) -> tuple[str, str] | None:
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=="):
+        return None
+    a, b = conjunct.left, conjunct.right
+    if not (isinstance(a, ast.ColumnRef) and isinstance(b, ast.ColumnRef)):
+        return None
+    if a.name in left_cols and b.name in right_cols:
+        return (a.name, b.name)
+    if b.name in left_cols and a.name in right_cols:
+        return (b.name, a.name)
+    return None
+
+
+class JoinCommute(TransformationRule):
+    """Join(L,R) → reorder-Project(Join(R,L)) for inner joins."""
+
+    name = "JoinCommute"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        op = expr.op
+        if not isinstance(op, logical.Join) or op.kind != "INNER":
+            return []
+        left = memo.handle(memo.group(expr.child_ids[0]))
+        right = memo.handle(memo.group(expr.child_ids[1]))
+        swapped_keys = tuple((r, l) for l, r in op.equi_keys)
+        commuted = logical.Join(right, left, op.kind, swapped_keys, op.residual)
+        items = tuple((name, ast.ColumnRef(name)) for name in op.schema.names)
+        return [logical.Project(commuted, items, op.schema)]
+
+
+class JoinAssociateLeft(TransformationRule):
+    """(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C), keys permitting."""
+
+    name = "JoinAssociateLeft"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        top = expr.op
+        if not isinstance(top, logical.Join) or top.kind != "INNER" or top.residual:
+            return []
+        results = []
+        left_group = memo.group(expr.child_ids[0])
+        c_group = memo.group(expr.child_ids[1])
+        for inner in left_group.logical_exprs:
+            bottom = inner.op
+            if not isinstance(bottom, logical.Join) or bottom.kind != "INNER" or bottom.residual:
+                continue
+            a_group = memo.group(inner.child_ids[0])
+            b_group = memo.group(inner.child_ids[1])
+            a_cols = set(a_group.schema.names)
+            b_cols = set(b_group.schema.names)
+            # split the top join's keys by which side of the bottom join they hit
+            bc_keys = [(l, r) for l, r in top.equi_keys if l in b_cols]
+            a_top_keys = [(l, r) for l, r in top.equi_keys if l in a_cols]
+            if not bc_keys:
+                continue  # would create a cross join of B and C
+            inner_join = logical.Join(
+                memo.handle(b_group), memo.handle(c_group), "INNER", tuple(bc_keys), None
+            )
+            new_top_keys = tuple(bottom.equi_keys) + tuple(a_top_keys)
+            if not new_top_keys:
+                continue
+            results.append(
+                logical.Join(
+                    memo.handle(a_group), inner_join, "INNER", new_top_keys, None
+                )
+            )
+        return results
+
+
+class JoinAssociateRight(TransformationRule):
+    """A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C, keys permitting."""
+
+    name = "JoinAssociateRight"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        top = expr.op
+        if not isinstance(top, logical.Join) or top.kind != "INNER" or top.residual:
+            return []
+        results = []
+        a_group = memo.group(expr.child_ids[0])
+        right_group = memo.group(expr.child_ids[1])
+        for inner in right_group.logical_exprs:
+            bottom = inner.op
+            if not isinstance(bottom, logical.Join) or bottom.kind != "INNER" or bottom.residual:
+                continue
+            b_group = memo.group(inner.child_ids[0])
+            c_group = memo.group(inner.child_ids[1])
+            b_cols = set(b_group.schema.names)
+            c_cols = set(c_group.schema.names)
+            ab_keys = [(l, r) for l, r in top.equi_keys if r in b_cols]
+            c_top_keys = [(l, r) for l, r in top.equi_keys if r in c_cols]
+            if not ab_keys:
+                continue
+            inner_join = logical.Join(
+                memo.handle(a_group), memo.handle(b_group), "INNER", tuple(ab_keys), None
+            )
+            new_top_keys = tuple(c_top_keys) + tuple(bottom.equi_keys)
+            if not new_top_keys:
+                continue
+            results.append(
+                logical.Join(
+                    inner_join, memo.handle(c_group), "INNER", new_top_keys, None
+                )
+            )
+        return results
+
+
+class ProjectMergeRule(TransformationRule):
+    """Project(Project(X)) → Project(X) inside the memo."""
+
+    name = "ProjectMerge"
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Project):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.Project):
+                continue
+            mapping = {name: item for name, item in inner.op.items}
+            items = tuple(
+                (name, substitute_columns(item, mapping)) for name, item in expr.op.items
+            )
+            grand = memo.handle(memo.group(inner.child_ids[0]))
+            results.append(logical.Project(grand, items, expr.op.schema))
+        return results
+
+
+_MERGEABLE_FUNCS = frozenset({"COUNT", "SUM", "MIN", "MAX"})
+
+_MERGE_FUNC = {"COUNT": "SUM", "SUM": "SUM", "MIN": "MIN", "MAX": "MAX"}
+
+
+def _splittable(op: logical.Aggregate) -> bool:
+    return (
+        not op.is_partial
+        and bool(op.aggs)
+        and all(spec.func in _MERGEABLE_FUNCS and not spec.distinct for spec in op.aggs)
+    )
+
+
+def _final_specs(op: logical.Aggregate) -> tuple[logical.AggSpec, ...]:
+    return tuple(
+        logical.AggSpec(_MERGE_FUNC[spec.func], spec.output, spec.output) for spec in op.aggs
+    )
+
+
+class LocalGlobalAggregation(TransformationRule):
+    """Aggregate → Final(Partial(X)): pre-aggregate before the shuffle.
+
+    This is the paper's canonical "data reduction" rewrite: the partial
+    aggregate shrinks the rows that cross the exchange, cutting DataRead /
+    DataWritten and hence PNhours.  Off by default — the classic
+    estimate-sensitive rule: when the grouping keys are nearly unique the
+    partial pass burns CPU without reducing anything, and the optimizer
+    only has (unreliable) distinct-count estimates to tell the cases apart.
+    Turning it on for the right recurring jobs is QO-Advisor's bread and
+    butter.
+    """
+
+    name = "LocalGlobalAggregation"
+    category = RuleCategory.OFF_BY_DEFAULT
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        op = expr.op
+        if not isinstance(op, logical.Aggregate) or not _splittable(op) or not op.keys:
+            return []
+        child = memo.handle(memo.group(expr.child_ids[0]))
+        partial = logical.Aggregate(child, op.keys, op.aggs, is_partial=True)
+        return [logical.Aggregate(partial, op.keys, _final_specs(op))]
+
+
+class DistinctToGroupBy(TransformationRule):
+    """COUNT(DISTINCT x) → COUNT(x) over a deduplicating group-by.
+
+    Off by default: the inner dedup can explode when x has many distinct
+    values per group — profitable only under the right data shape.
+    """
+
+    name = "DistinctToGroupBy"
+    category = RuleCategory.OFF_BY_DEFAULT
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        op = expr.op
+        if not isinstance(op, logical.Aggregate) or op.is_partial:
+            return []
+        if len(op.aggs) != 1:
+            return []
+        spec = op.aggs[0]
+        if not (spec.distinct and spec.func == "COUNT" and spec.arg is not None):
+            return []
+        child = memo.handle(memo.group(expr.child_ids[0]))
+        dedup = logical.Aggregate(child, op.keys + (spec.arg,), ())
+        outer = logical.Aggregate(
+            dedup, op.keys, (logical.AggSpec("COUNT", spec.arg, spec.output),)
+        )
+        return [outer]
+
+
+class PredicateTransfer(TransformationRule):
+    """Infer a filter on the other join side through equi-join keys.
+
+    ``L.k == 5 AND L.k == R.k`` implies ``R.k == 5``.  Off by default:
+    profitable only when the transferred predicate is selective, which the
+    optimizer can easily mis-estimate.
+    """
+
+    name = "PredicateTransfer"
+    category = RuleCategory.OFF_BY_DEFAULT
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        op = expr.op
+        if not isinstance(op, logical.Join) or op.kind != "INNER" or not op.equi_keys:
+            return []
+        results = []
+        left_group = memo.group(expr.child_ids[0])
+        right_group = memo.group(expr.child_ids[1])
+        key_map = dict(op.equi_keys)
+        for inner in left_group.logical_exprs:
+            if not isinstance(inner.op, logical.Filter):
+                continue
+            transferred: list[ast.Expr] = []
+            for conjunct in ast.split_conjuncts(inner.op.predicate):
+                mapped = self._transfer(conjunct, key_map)
+                if mapped is not None:
+                    transferred.append(mapped)
+            if not transferred:
+                continue
+            new_right = logical.Filter(
+                memo.handle(right_group), ast.make_conjunction(transferred)
+            )
+            results.append(
+                logical.Join(
+                    memo.handle(left_group), new_right, op.kind, op.equi_keys, op.residual
+                )
+            )
+        return results
+
+    _TRANSFERABLE = {"==": "==", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+    _MIRRORED = {"==": "==", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    @classmethod
+    def _transfer(cls, conjunct: ast.Expr, key_map: dict[str, str]) -> ast.Expr | None:
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op in cls._TRANSFERABLE):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+            column, literal, op = left, right, conjunct.op
+        elif isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+            # "5 < k" is "k > 5" from the column's point of view
+            column, literal, op = right, left, cls._MIRRORED[conjunct.op]
+        else:
+            return None
+        if column.name not in key_map:
+            return None
+        return ast.BinaryOp(op, ast.ColumnRef(key_map[column.name]), literal)
+
+
+class GroupByBelowUnion(TransformationRule):
+    """Aggregate(Union(A,B)) → Final(Union(Partial(A), Partial(B))).
+
+    Off by default: pays off only when both branches reduce heavily.
+    """
+
+    name = "GroupByBelowUnion"
+    category = RuleCategory.OFF_BY_DEFAULT
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        op = expr.op
+        if not isinstance(op, logical.Aggregate) or not _splittable(op) or not op.keys:
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.UnionAll):
+                continue
+            left_group = memo.group(inner.child_ids[0])
+            right_group = memo.group(inner.child_ids[1])
+            mapping = dict(zip(left_group.schema.names, right_group.schema.names))
+            if any(key not in mapping for key in op.keys):
+                continue
+            if any(spec.arg is not None and spec.arg not in mapping for spec in op.aggs):
+                continue
+            left_partial = logical.Aggregate(
+                memo.handle(left_group), op.keys, op.aggs, is_partial=True
+            )
+            right_keys = tuple(mapping[key] for key in op.keys)
+            right_aggs = tuple(
+                logical.AggSpec(
+                    spec.func,
+                    mapping[spec.arg] if spec.arg is not None else None,
+                    spec.output,
+                    spec.distinct,
+                )
+                for spec in op.aggs
+            )
+            right_partial = logical.Aggregate(
+                memo.handle(right_group), right_keys, right_aggs, is_partial=True
+            )
+            union = logical.UnionAll(left_partial, right_partial)
+            results.append(logical.Aggregate(union, op.keys, _final_specs(op)))
+        return results
+
+
+class SortPushThroughProject(TransformationRule):
+    """Sort(Project(X)) → Project(Sort(X)) when keys are pure renames."""
+
+    name = "SortPushThroughProject"
+    category = RuleCategory.OFF_BY_DEFAULT
+
+    def apply(self, expr: GroupExpression, memo: Memo) -> list[logical.LogicalOp]:
+        if not isinstance(expr.op, logical.Sort):
+            return []
+        results = []
+        child_group = memo.group(expr.child_ids[0])
+        for inner in child_group.logical_exprs:
+            if not isinstance(inner.op, logical.Project):
+                continue
+            mapping = {name: item for name, item in inner.op.items}
+            keys: list[tuple[str, bool]] = []
+            for col, asc in expr.op.keys:
+                mapped = mapping.get(col)
+                if not isinstance(mapped, ast.ColumnRef):
+                    break
+                keys.append((mapped.name, asc))
+            else:
+                grand = memo.handle(memo.group(inner.child_ids[0]))
+                results.append(
+                    logical.Project(
+                        logical.Sort(grand, tuple(keys)), inner.op.items, inner.op.schema
+                    )
+                )
+        return results
+
+
+def register_transformation_rules(registry: RuleRegistry) -> None:
+    registry.register(FilterMerge())
+    registry.register(FilterPushThroughProject())
+    registry.register(FilterPushThroughJoinLeft())
+    registry.register(FilterPushThroughJoinRight())
+    registry.register(FilterPushThroughUnion())
+    registry.register(FilterPushThroughAggregate())
+    registry.register(FilterPushThroughSort())
+    registry.register(FilterIntoJoin())
+    registry.register(JoinResidualToKeys())
+    registry.register(JoinCommute())
+    registry.register(JoinAssociateLeft())
+    registry.register(JoinAssociateRight())
+    registry.register(ProjectMergeRule())
+    registry.register(LocalGlobalAggregation())
+    registry.register(DistinctToGroupBy())
+    registry.register(PredicateTransfer())
+    registry.register(GroupByBelowUnion())
+    registry.register(SortPushThroughProject())

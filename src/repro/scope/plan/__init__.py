@@ -1,0 +1,6 @@
+"""Logical and physical plan representations."""
+
+from repro.scope.plan import logical, physical
+from repro.scope.plan.properties import Distribution, DistributionKind, PhysProps
+
+__all__ = ["logical", "physical", "Distribution", "DistributionKind", "PhysProps"]

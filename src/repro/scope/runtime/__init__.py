@@ -1,0 +1,7 @@
+"""The distributed runtime simulator."""
+
+from repro.scope.runtime.executor import RuntimeSimulator
+from repro.scope.runtime.metrics import JobMetrics
+from repro.scope.runtime.stages import StageGraph, build_stage_graph
+
+__all__ = ["RuntimeSimulator", "JobMetrics", "StageGraph", "build_stage_graph"]

@@ -1,0 +1,63 @@
+"""Job-level runtime metrics — the quantities the paper measures.
+
+``pnhours`` is SCOPE's resource metric: the sum of CPU and I/O time over
+all vertices, in hours (paper §2.1).  ``latency`` is wall-clock time.
+``vertices`` is the total number of containers used.  DataRead/DataWritten
+are the I/O volumes the Validation model regresses on (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["JobMetrics", "relative_delta"]
+
+
+def relative_delta(new: float, old: float) -> float:
+    """The paper's delta convention: ``new / old - 1`` (<0 is improvement)."""
+    if old == 0.0:
+        return 0.0 if new == 0.0 else float("inf")
+    return new / old - 1.0
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Measured execution metrics of one job run."""
+
+    latency_s: float
+    pnhours: float
+    vertices: int
+    data_read: float
+    data_written: float
+    max_memory: float
+    avg_memory: float
+    cpu_seconds: float
+    io_seconds: float
+
+    def delta(self, baseline: "JobMetrics") -> "MetricsDelta":
+        """Relative change of this run versus ``baseline``."""
+        return MetricsDelta(
+            latency=relative_delta(self.latency_s, baseline.latency_s),
+            pnhours=relative_delta(self.pnhours, baseline.pnhours),
+            vertices=relative_delta(self.vertices, baseline.vertices),
+            data_read=relative_delta(self.data_read, baseline.data_read),
+            data_written=relative_delta(self.data_written, baseline.data_written),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"latency={self.latency_s:.1f}s pnhours={self.pnhours:.4f} "
+            f"vertices={self.vertices} read={self.data_read / 1e9:.2f}GB "
+            f"written={self.data_written / 1e9:.2f}GB"
+        )
+
+
+@dataclass(frozen=True)
+class MetricsDelta:
+    """Relative metric changes (new/old − 1); negative means improvement."""
+
+    latency: float
+    pnhours: float
+    vertices: float
+    data_read: float
+    data_written: float

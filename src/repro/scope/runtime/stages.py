@@ -1,0 +1,227 @@
+"""Stage graph construction: physical plan → executable stage DAG.
+
+A *stage* is a maximal pipeline of operators executed by one set of
+vertices.  Stage boundaries appear at:
+
+* :class:`~repro.scope.plan.physical.Exchange` operators (the producer
+  writes its output to the store; the consumer stage reads it), and
+* shared sub-plans (a common subexpression is materialized once and read by
+  every consumer, as SCOPE does for multi-output scripts).
+
+Each stage records true and estimated input volumes; the *estimated* bytes
+drive the degree-of-parallelism decision (the optimizer's compile-time
+choice), the *true* bytes drive measured I/O — mis-estimates therefore
+cause over/under-parallelism exactly like in the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.scope.plan import physical
+from repro.scope.plan.properties import DistributionKind
+
+__all__ = ["StageInput", "Stage", "StageGraph", "build_stage_graph"]
+
+
+@dataclass
+class StageInput:
+    """One input feeding a stage."""
+
+    kind: str  # "extract" | "exchange"
+    true_bytes: float
+    est_bytes: float
+    #: producer stage id for exchange inputs (None for extracts)
+    producer: int | None = None
+    #: True when every vertex reads the full input (broadcast exchange)
+    broadcast: bool = False
+
+
+@dataclass
+class Stage:
+    """A pipeline of operators run by ``dop`` parallel vertices."""
+
+    stage_id: int
+    nodes: list[physical.PhysicalPlanNode] = field(default_factory=list)
+    inputs: list[StageInput] = field(default_factory=list)
+    #: bytes this stage writes (exchange or output materialization)
+    output_true_bytes: float = 0.0
+    output_est_bytes: float = 0.0
+    #: forced single-vertex execution (gather/singleton consumers)
+    singleton: bool = False
+    dop: int = 1
+
+    @property
+    def producer_ids(self) -> list[int]:
+        return [inp.producer for inp in self.inputs if inp.producer is not None]
+
+
+@dataclass
+class StageGraph:
+    """All stages of a job, topologically ordered (producers first)."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    @property
+    def total_vertices(self) -> int:
+        return sum(stage.dop for stage in self.stages)
+
+
+class _Builder:
+    def __init__(self, partition_target: int, max_tokens: int) -> None:
+        self.partition_target = partition_target
+        self.max_tokens = max_tokens
+        self.graph = StageGraph()
+        self._flows: dict[int, Stage] = {}  # id(plan node) -> producing stage
+        self._refcount: dict[int, int] = {}
+
+    def build(self, root: physical.PhysicalPlanNode) -> StageGraph:
+        self._count_refs(root)
+        if not isinstance(root.op, physical.SuperRootExec):
+            raise ExecutionError("runtime expects a SuperRoot plan")
+        for child in root.children:
+            self._materialize(child, is_output=True)
+        self._assign_parallelism()
+        self._topological_renumber()
+        return self.graph
+
+    def _count_refs(self, root: physical.PhysicalPlanNode) -> None:
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                self._refcount[id(child)] = self._refcount.get(id(child), 0) + 1
+                if id(child) not in seen:
+                    seen.add(id(child))
+                    stack.append(child)
+
+    def _materialize(
+        self, node: physical.PhysicalPlanNode, is_output: bool = False
+    ) -> Stage:
+        """Return the stage whose pipeline ends at ``node``."""
+        if id(node) in self._flows:
+            return self._flows[id(node)]
+        if isinstance(node.op, physical.Exchange):
+            # the exchange itself is the producer's write step
+            producer = self._materialize(node.children[0])
+            self._flows[id(node)] = producer
+            return producer
+        stage = Stage(stage_id=len(self.graph.stages))
+        self.graph.stages.append(stage)
+        self._flows[id(node)] = stage
+        self._attach(node, stage, as_root=True)
+        if is_output:
+            stage.output_true_bytes += node.true_bytes
+            stage.output_est_bytes += node.est_bytes
+        return stage
+
+    def _attach(
+        self, node: physical.PhysicalPlanNode, stage: Stage, as_root: bool = False
+    ) -> None:
+        op = node.op
+        if isinstance(op, physical.Exchange):
+            child = node.children[0]
+            producer = self._materialize(child)
+            broadcast = op.target.kind == DistributionKind.BROADCAST
+            if op.target.kind == DistributionKind.SINGLETON:
+                stage.singleton = True
+            producer.output_true_bytes += child.true_bytes
+            producer.output_est_bytes += child.est_bytes
+            stage.inputs.append(
+                StageInput(
+                    kind="exchange",
+                    true_bytes=child.true_bytes,
+                    est_bytes=child.est_bytes,
+                    producer=producer.stage_id,
+                    broadcast=broadcast,
+                )
+            )
+            stage.nodes.append(node)  # the reader side of the exchange
+            return
+        if (
+            not as_root
+            and self._refcount.get(id(node), 0) > 1
+            and not isinstance(op, physical.Extract)
+        ):
+            # shared sub-plan: materialize once, read from the store
+            producer = self._materialize(node)
+            producer.output_true_bytes += node.true_bytes
+            producer.output_est_bytes += node.est_bytes
+            stage.inputs.append(
+                StageInput(
+                    kind="exchange",
+                    true_bytes=node.true_bytes,
+                    est_bytes=node.est_bytes,
+                    producer=producer.stage_id,
+                )
+            )
+            return
+        stage.nodes.append(node)
+        if isinstance(op, physical.Extract):
+            stage.inputs.append(
+                StageInput(kind="extract", true_bytes=node.true_bytes, est_bytes=node.est_bytes)
+            )
+            return
+        for child in node.children:
+            self._attach(child, stage)
+
+    def _topological_renumber(self) -> None:
+        """Reorder stages so every producer precedes its consumers."""
+        stages = self.graph.stages
+        consumers: dict[int, list[int]] = {s.stage_id: [] for s in stages}
+        indegree: dict[int, int] = {s.stage_id: 0 for s in stages}
+        for stage in stages:
+            for producer in stage.producer_ids:
+                consumers[producer].append(stage.stage_id)
+                indegree[stage.stage_id] += 1
+        ready = sorted(sid for sid, deg in indegree.items() if deg == 0)
+        order: list[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for consumer in consumers[current]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(stages):
+            raise ExecutionError("stage graph contains a cycle")
+        remap = {old: new for new, old in enumerate(order)}
+        by_old = {s.stage_id: s for s in stages}
+        reordered = []
+        for old_id in order:
+            stage = by_old[old_id]
+            stage.stage_id = remap[old_id]
+            for inp in stage.inputs:
+                if inp.producer is not None:
+                    inp.producer = remap[inp.producer]
+            reordered.append(stage)
+        self.graph.stages = reordered
+
+    def _assign_parallelism(self) -> None:
+        for stage in self.graph.stages:
+            if stage.singleton:
+                stage.dop = 1
+                continue
+            est_bytes = sum(
+                inp.est_bytes for inp in stage.inputs if not inp.broadcast
+            )
+            dop = int(est_bytes // self.partition_target) + 1
+            stage.dop = max(1, min(self.max_tokens, dop))
+
+
+def build_stage_graph(
+    root: physical.PhysicalPlanNode,
+    *,
+    partition_target: int,
+    max_tokens: int,
+) -> StageGraph:
+    """Build the stage DAG for a SuperRoot physical plan."""
+    return _Builder(partition_target, max_tokens).build(root)

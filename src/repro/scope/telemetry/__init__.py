@@ -1,0 +1,5 @@
+"""Telemetry: the denormalized workload view consumed by QO-Advisor."""
+
+from repro.scope.telemetry.view import WorkloadView, WorkloadViewRow, build_view_row
+
+__all__ = ["WorkloadView", "WorkloadViewRow", "build_view_row"]

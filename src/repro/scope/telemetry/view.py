@@ -1,0 +1,127 @@
+"""The denormalized workload view (paper §4, Table 1).
+
+After each day, SCOPE publishes one row per executed job combining
+compile-time information (estimated cost and cardinalities, rule signature)
+with runtime statistics (latency, PNhours, vertices, bytes, memory).  Jobs
+are script DAGs, so query(tree)-level features are aggregated to job level
+under a *super root* using the aggregation functions of Table 1:
+
+=====================  ===========  ==================
+Feature                Aggregation  Source
+=====================  ===========  ==================
+Normalized Job Name    min          Job Metadata
+Rule Signature         min          Optimizer
+Latency                min          Runtime Statistics
+Estimated Cost         min          Optimizer
+Query Template         min          Job Metadata
+Total Vertices         min          Runtime Statistics
+Estimated Cardinality  sum          Optimizer
+Bytes Read             sum          Runtime Statistics
+Maximum Memory         min          Runtime Statistics
+Average Memory         min          Runtime Statistics
+Average Row Length     avg          Optimizer
+Row Count              sum          Optimizer
+PNHours                min          Runtime Statistics
+=====================  ===========  ==================
+
+("min" on job-level features is the paper's convention: all query trees of
+one job share the job-level value, so ``min`` just picks it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.engine import OptimizationResult
+from repro.scope.plan import physical
+from repro.scope.runtime.metrics import JobMetrics
+
+__all__ = ["WorkloadViewRow", "WorkloadView", "build_view_row"]
+
+
+@dataclass(frozen=True)
+class WorkloadViewRow:
+    """One job's denormalized compile-time + runtime record."""
+
+    job_id: str
+    template_id: str
+    normalized_job_name: str
+    day: int
+    # optimizer features
+    rule_signature: frozenset[int]
+    estimated_cost: float
+    estimated_cardinality: float  # sum over query trees
+    row_count: float  # sum over query trees
+    avg_row_length: float  # avg over query trees
+    # runtime statistics
+    latency_s: float
+    pnhours: float
+    vertices: int
+    bytes_read: float
+    bytes_written: float
+    max_memory: float
+    avg_memory: float
+    #: number of query trees (outputs) in the job DAG
+    query_count: int = 1
+    had_manual_hint: bool = False
+
+
+def build_view_row(
+    job: JobInstance,
+    result: OptimizationResult,
+    metrics: JobMetrics,
+) -> WorkloadViewRow:
+    """Aggregate one executed job into its view row (Table 1 semantics)."""
+    roots = result.plan.children  # Output trees under the super root
+    est_cards: list[float] = []
+    row_counts: list[float] = []
+    row_lengths: list[float] = []
+    for root in roots:
+        est_cards.append(root.est_rows)
+        row_counts.append(root.true_rows)
+        row_lengths.append(float(root.op.schema.row_width))
+    query_count = max(1, len(roots))
+    return WorkloadViewRow(
+        job_id=job.job_id,
+        template_id=job.template_id,
+        normalized_job_name=job.name,
+        day=job.day,
+        rule_signature=result.signature.rule_ids,
+        estimated_cost=result.est_cost,
+        estimated_cardinality=sum(est_cards),
+        row_count=sum(row_counts),
+        avg_row_length=sum(row_lengths) / query_count if row_lengths else 0.0,
+        latency_s=metrics.latency_s,
+        pnhours=metrics.pnhours,
+        vertices=metrics.vertices,
+        bytes_read=metrics.data_read,
+        bytes_written=metrics.data_written,
+        max_memory=metrics.max_memory,
+        avg_memory=metrics.avg_memory,
+        query_count=query_count,
+        had_manual_hint=job.manual_hint is not None,
+    )
+
+
+@dataclass
+class WorkloadView:
+    """The per-day view file: rows for every job executed on ``day``."""
+
+    day: int
+    rows: list[WorkloadViewRow] = field(default_factory=list)
+
+    def add(self, row: WorkloadViewRow) -> None:
+        self.rows.append(row)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def by_template(self) -> dict[str, list[WorkloadViewRow]]:
+        grouped: dict[str, list[WorkloadViewRow]] = {}
+        for row in self.rows:
+            grouped.setdefault(row.template_id, []).append(row)
+        return grouped

@@ -1,0 +1,6 @@
+"""Stats & Insight Service (SIS): hint file management."""
+
+from repro.sis.hints import HintEntry, parse_hint_file, render_hint_file
+from repro.sis.service import SISService
+
+__all__ = ["SISService", "HintEntry", "parse_hint_file", "render_hint_file"]

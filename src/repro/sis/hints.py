@@ -1,0 +1,79 @@
+"""The SIS hint-file format.
+
+QO-Advisor's Hint Generation task writes (job template → rule flip) pairs
+into a tab-separated file; SIS validates the format before installing it in
+the optimizer (paper §4.4).  Format, one entry per line::
+
+    <template_id> \t <rule_id> \t on|off
+
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SISError
+from repro.scope.optimizer.rules.base import RuleCategory, RuleFlip, RuleRegistry
+
+__all__ = ["HintEntry", "render_hint_file", "parse_hint_file", "validate_entries"]
+
+
+@dataclass(frozen=True)
+class HintEntry:
+    """One hint: apply ``flip`` to every job matching ``template_id``."""
+
+    template_id: str
+    flip: RuleFlip
+
+
+def render_hint_file(entries: list[HintEntry], day: int) -> str:
+    """Serialize entries into the SIS file format."""
+    lines = [f"# QO-Advisor hints, day={day}, entries={len(entries)}"]
+    for entry in entries:
+        direction = "on" if entry.flip.turn_on else "off"
+        lines.append(f"{entry.template_id}\t{entry.flip.rule_id}\t{direction}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_hint_file(content: str) -> list[HintEntry]:
+    """Parse a hint file; raises :class:`SISError` on malformed lines."""
+    entries: list[HintEntry] = []
+    for number, line in enumerate(content.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split("\t")
+        if len(parts) != 3:
+            raise SISError(f"line {number}: expected 3 tab-separated fields, got {len(parts)}")
+        template_id, rule_text, direction = parts
+        if not template_id:
+            raise SISError(f"line {number}: empty template id")
+        try:
+            rule_id = int(rule_text)
+        except ValueError as exc:
+            raise SISError(f"line {number}: rule id {rule_text!r} is not an integer") from exc
+        if direction not in ("on", "off"):
+            raise SISError(f"line {number}: direction must be 'on' or 'off', got {direction!r}")
+        entries.append(HintEntry(template_id, RuleFlip(rule_id, direction == "on")))
+    return entries
+
+
+def validate_entries(entries: list[HintEntry], registry: RuleRegistry) -> None:
+    """Semantic validation against the rule registry (SIS install check)."""
+    seen: set[str] = set()
+    default = registry.default_configuration()
+    for entry in entries:
+        if entry.template_id in seen:
+            raise SISError(f"duplicate hint for template {entry.template_id!r}")
+        seen.add(entry.template_id)
+        if not 0 <= entry.flip.rule_id < len(registry):
+            raise SISError(f"unknown rule id {entry.flip.rule_id}")
+        rule = registry.rule(entry.flip.rule_id)
+        if rule.category == RuleCategory.REQUIRED:
+            raise SISError(f"rule {rule.name!r} is required and cannot be hinted")
+        if entry.flip.turn_on == default.is_enabled(entry.flip.rule_id):
+            raise SISError(
+                f"hint for {entry.template_id!r} does not change the default "
+                f"state of rule {rule.name!r}"
+            )

@@ -1,0 +1,81 @@
+"""SIS service: versioned hint installation and compile-time lookup.
+
+SIS manages versioning and validates hint files before installing them in
+the SCOPE optimizer (paper §4.4).  The engine consults
+:meth:`SISService.lookup` for every compiled job; wiring happens through
+``ScopeEngine.hint_provider``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scope.engine import ScopeEngine
+from repro.scope.optimizer.rules.base import RuleFlip, RuleRegistry
+from repro.sis.hints import HintEntry, parse_hint_file, render_hint_file, validate_entries
+
+__all__ = ["SISService", "HintFileVersion"]
+
+
+@dataclass
+class HintFileVersion:
+    """One installed hint file."""
+
+    version: int
+    day: int
+    content: str
+    entries: list[HintEntry] = field(default_factory=list)
+
+
+class SISService:
+    """Hint store with versioning, validation and rollback."""
+
+    def __init__(self, registry: RuleRegistry) -> None:
+        self.registry = registry
+        self.versions: list[HintFileVersion] = []
+        self._active: dict[str, RuleFlip] = {}
+
+    def upload(self, entries: list[HintEntry], day: int) -> HintFileVersion:
+        """Validate and install a new hint file; returns the new version.
+
+        Installation replaces the full active hint set, matching the daily
+        pipeline's behaviour of publishing a complete file per run.
+        """
+        validate_entries(entries, self.registry)
+        content = render_hint_file(entries, day)
+        # round-trip through the file format: what is installed is what
+        # would be read back from the stored file
+        parsed = parse_hint_file(content)
+        version = HintFileVersion(
+            version=len(self.versions) + 1, day=day, content=content, entries=parsed
+        )
+        self.versions.append(version)
+        self._active = {entry.template_id: entry.flip for entry in parsed}
+        return version
+
+    def rollback(self) -> None:
+        """Revert to the previous version (regression mitigation path)."""
+        if not self.versions:
+            return
+        self.versions.pop()
+        if self.versions:
+            self._active = {
+                entry.template_id: entry.flip for entry in self.versions[-1].entries
+            }
+        else:
+            self._active = {}
+
+    def lookup(self, template_id: str) -> RuleFlip | None:
+        """Hint for a template, or None (the optimizer's compile-time probe)."""
+        return self._active.get(template_id)
+
+    def active_hints(self) -> dict[str, RuleFlip]:
+        return dict(self._active)
+
+    @property
+    def current_version(self) -> int:
+        return len(self.versions)
+
+    def attach(self, engine: ScopeEngine) -> None:
+        """Wire this SIS instance into an engine's compile path."""
+        engine.hint_provider = self.lookup

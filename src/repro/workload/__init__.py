@@ -1,0 +1,6 @@
+"""Synthetic recurring SCOPE workloads."""
+
+from repro.workload.generator import Workload, build_workload
+from repro.workload.schemas import build_catalog, grow_catalog
+
+__all__ = ["Workload", "build_workload", "build_catalog", "grow_catalog"]

@@ -1,0 +1,116 @@
+"""Synthetic catalog generation.
+
+Tables model telemetry streams of a large service: heavy-tailed sizes,
+shared entity keys (so joins are meaningful), low-cardinality dimension
+columns (selective filters) and numeric measure columns (aggregations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.rng import keyed_rng
+from repro.scope.catalog import Catalog, ColumnStats, TableDef
+from repro.scope.types import Column, DataType, Schema
+
+__all__ = ["ENTITY_KEYS", "build_catalog", "grow_catalog"]
+
+#: shared entity-key domains; tables holding the same key can be joined
+ENTITY_KEYS = (
+    ("user_id", 5_000_000),
+    ("session_id", 40_000_000),
+    ("item_id", 800_000),
+    ("account_id", 300_000),
+    ("device_id", 2_000_000),
+    ("campaign_id", 50_000),
+)
+
+_DIM_COLUMNS = (
+    ("event_type", 24),
+    ("market", 60),
+    ("platform", 8),
+    ("status_code", 40),
+    ("tier", 5),
+    ("channel", 12),
+)
+
+_MEASURE_COLUMNS = ("duration_ms", "bytes_count", "score", "revenue", "weight")
+
+
+def build_catalog(config: WorkloadConfig, seed: int, stats_staleness_sigma: float) -> Catalog:
+    """Create the synthetic catalog for a workload tier."""
+    catalog = Catalog(stats_seed=seed ^ 0xCA7A, stats_staleness_sigma=stats_staleness_sigma)
+    rng = keyed_rng(seed, "catalog")
+    for index in range(config.num_tables):
+        catalog.add_table(_build_table(index, rng))
+    return catalog
+
+
+def _build_table(index: int, rng: np.random.Generator) -> TableDef:
+    name = f"stream_{index:03d}"
+    # heavy-tailed table sizes: 100K .. ~1B rows
+    row_count = int(np.exp(rng.uniform(np.log(1e5), np.log(1e9))))
+
+    columns: list[Column] = []
+    stats: dict[str, ColumnStats] = {}
+
+    num_keys = int(rng.integers(1, 4))
+    key_choices = rng.choice(len(ENTITY_KEYS), size=num_keys, replace=False)
+    for key_index in key_choices:
+        key_name, domain = ENTITY_KEYS[int(key_index)]
+        columns.append(Column(key_name, DataType.LONG))
+        ndv = int(min(row_count, domain))
+        stats[key_name] = ColumnStats(0, float(domain), max(1, ndv), skew=0.4)
+
+    num_dims = int(rng.integers(1, 4))
+    dim_choices = rng.choice(len(_DIM_COLUMNS), size=num_dims, replace=False)
+    for dim_index in dim_choices:
+        dim_name, ndv = _DIM_COLUMNS[int(dim_index)]
+        columns.append(Column(dim_name, DataType.INT))
+        stats[dim_name] = ColumnStats(0, float(ndv), ndv, skew=0.8)
+
+    num_measures = int(rng.integers(1, 4))
+    measure_choices = rng.choice(len(_MEASURE_COLUMNS), size=num_measures, replace=False)
+    for measure_index in measure_choices:
+        measure_name = _MEASURE_COLUMNS[int(measure_index)]
+        columns.append(Column(measure_name, DataType.DOUBLE))
+        upper = float(rng.choice([1e3, 1e4, 1e6]))
+        stats[measure_name] = ColumnStats(0, upper, int(min(row_count, 100_000)))
+
+    # a wide payload column making row width (and bytes) meaningful
+    columns.append(Column("payload", DataType.STRING))
+
+    return TableDef(name=name, schema=Schema(columns), row_count=row_count, column_stats=stats)
+
+
+def grow_catalog(
+    catalog: Catalog,
+    base_rows: dict[str, int],
+    day: int,
+    seed: int,
+    low: float,
+    high: float,
+) -> None:
+    """Scale table sizes to their ``day`` values (recurring inputs drift).
+
+    Growth is deterministic per (seed, table, day) and cumulative from the
+    *base* sizes, so calling this for any day in any order is idempotent.
+    """
+    for table in list(catalog):
+        base = base_rows.get(table.name, table.row_count)
+        factor = 1.0
+        if day > 0:
+            rng = keyed_rng(seed, "growth", table.name)
+            factors = rng.uniform(low, high, size=day)
+            factor = float(np.prod(factors))
+        new_count = max(1000, int(base * factor))
+        catalog.replace_table(
+            TableDef(
+                name=table.name,
+                schema=table.schema,
+                row_count=new_count,
+                column_stats=table.column_stats,
+                path=table.path,
+            )
+        )

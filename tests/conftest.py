@@ -1,0 +1,114 @@
+"""Shared fixtures: a small catalog, engine and workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig, WorkloadConfig
+from repro.scope.catalog import Catalog, ColumnStats, TableDef
+from repro.scope.engine import ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.scope.types import Column, DataType, Schema
+from repro.workload.generator import Workload, build_workload
+import dataclasses
+
+
+@pytest.fixture(scope="session")
+def small_catalog() -> Catalog:
+    catalog = Catalog(stats_seed=3, stats_staleness_sigma=0.1)
+    catalog.add_table(
+        TableDef(
+            "users",
+            Schema(
+                [
+                    Column("uid", DataType.LONG),
+                    Column("age", DataType.INT),
+                    Column("region", DataType.INT),
+                ]
+            ),
+            1_000_000,
+            {
+                "uid": ColumnStats(0, 1e6, 1_000_000),
+                "age": ColumnStats(0, 100, 100),
+                "region": ColumnStats(0, 50, 50),
+            },
+        )
+    )
+    catalog.add_table(
+        TableDef(
+            "events",
+            Schema(
+                [
+                    Column("uid", DataType.LONG),
+                    Column("etype", DataType.INT),
+                    Column("val", DataType.DOUBLE),
+                ]
+            ),
+            20_000_000,
+            {
+                "uid": ColumnStats(0, 1e6, 900_000),
+                "etype": ColumnStats(0, 20, 20),
+                "val": ColumnStats(0, 1e4, 100_000),
+            },
+        )
+    )
+    return catalog
+
+
+JOIN_AGG_SCRIPT = """
+raw = EXTRACT uid:long, etype:int, val:double FROM "/shares/data/events.ss";
+filtered = SELECT uid, val FROM raw WHERE etype == 3 AND val > 10.5;
+joined = SELECT u.region, f.val FROM filtered AS f JOIN users AS u ON f.uid == u.uid;
+agg = SELECT region, COUNT(*) AS cnt, SUM(val) AS total FROM joined GROUP BY region;
+OUTPUT agg TO "/out/agg.ss";
+OUTPUT filtered TO "/out/filtered.ss";
+"""
+
+SIMPLE_SCRIPT = """
+raw = EXTRACT uid:long, etype:int FROM "/shares/data/events.ss";
+slim = SELECT uid FROM raw WHERE etype == 3;
+OUTPUT slim TO "/out/slim.ss";
+"""
+
+COPY_SCRIPT = """
+raw = EXTRACT uid:long, age:int FROM "/shares/data/users.ss";
+OUTPUT raw TO "/out/copy.ss";
+"""
+
+
+@pytest.fixture(scope="session")
+def engine(small_catalog) -> ScopeEngine:
+    return ScopeEngine(small_catalog, SimulationConfig(seed=101))
+
+
+@pytest.fixture(scope="session")
+def join_agg_job() -> JobInstance:
+    return JobInstance("j-agg", "t-agg", "join_agg", JOIN_AGG_SCRIPT, day=0)
+
+
+@pytest.fixture(scope="session")
+def simple_job() -> JobInstance:
+    return JobInstance("j-simple", "t-simple", "simple", SIMPLE_SCRIPT, day=0)
+
+
+@pytest.fixture(scope="session")
+def copy_job() -> JobInstance:
+    return JobInstance("j-copy", "t-copy", "copy", COPY_SCRIPT, day=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SimulationConfig:
+    return dataclasses.replace(
+        SimulationConfig(seed=42),
+        workload=WorkloadConfig(num_templates=16, num_tables=10),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_config) -> Workload:
+    return build_workload(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_workload, tiny_config) -> ScopeEngine:
+    return ScopeEngine(tiny_workload.catalog, tiny_config, tiny_workload.registry)

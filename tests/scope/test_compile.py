@@ -1,0 +1,102 @@
+"""Compiler tests: bound AST → logical DAG with job-unique names."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.scope.compile import compile_script
+from repro.scope.plan import logical
+
+from tests.conftest import COPY_SCRIPT, JOIN_AGG_SCRIPT
+
+
+def test_compile_produces_super_root(small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    assert isinstance(compiled.root, logical.SuperRoot)
+    assert len(compiled.output_roots) == 2
+    assert all(isinstance(out, logical.Output) for out in compiled.output_roots)
+
+
+def test_compile_shares_common_rowsets(small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    # `filtered` feeds both outputs: its Filter op must be one shared object
+    filters = [op for op in logical.walk(compiled.root) if isinstance(op, logical.Filter)]
+    etype_filters = [f for f in filters if "etype" in f.predicate.sql()]
+    assert len(etype_filters) == 1
+
+
+def test_compile_column_names_are_job_unique(small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    for op in logical.walk(compiled.root):
+        names = op.schema.names
+        assert len(names) == len(set(names))
+
+
+def test_compile_join_condition_goes_to_residual(small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    joins = [op for op in logical.walk(compiled.root) if isinstance(op, logical.Join)]
+    assert len(joins) == 1
+    # equi-key recognition is the optimizer's job (JoinResidualToKeys rule)
+    assert joins[0].equi_keys == ()
+    assert joins[0].residual is not None
+
+
+def test_compile_origins_track_base_columns(small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    base_origins = [o for o in compiled.origins.values() if o.is_base]
+    assert any(o.table == "events" and o.column == "uid" for o in base_origins)
+    assert any(o.table == "users" and o.column == "region" for o in base_origins)
+
+
+def test_compile_aggregate_structure(small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    aggs = [op for op in logical.walk(compiled.root) if isinstance(op, logical.Aggregate)]
+    assert len(aggs) == 1
+    agg = aggs[0]
+    assert len(agg.keys) == 1
+    assert {spec.func for spec in agg.aggs} == {"COUNT", "SUM"}
+
+
+def test_compile_copy_job_is_minimal(small_catalog):
+    compiled = compile_script(COPY_SCRIPT, small_catalog)
+    ops = list(logical.walk(compiled.root))
+    kinds = {type(op) for op in ops}
+    assert kinds == {logical.SuperRoot, logical.Output, logical.Get}
+
+
+def test_compile_unknown_rowset_in_output(small_catalog):
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        compile_script('OUTPUT ghost TO "/o";', small_catalog)
+
+
+def test_compile_order_by_requires_selected_key(small_catalog):
+    script = (
+        "s = SELECT uid, COUNT(*) AS c FROM users GROUP BY uid ORDER BY c;\n"
+        'OUTPUT s TO "/o";'
+    )
+    compiled = compile_script(script, small_catalog)
+    sorts = [op for op in logical.walk(compiled.root) if isinstance(op, logical.Sort)]
+    assert len(sorts) == 1
+
+
+def test_compile_union_all(small_catalog):
+    script = (
+        "a = SELECT uid FROM users WHERE age < 30;\n"
+        "b = SELECT uid FROM users WHERE age > 60;\n"
+        "u = SELECT uid FROM a UNION ALL SELECT uid FROM b;\n"
+        'OUTPUT u TO "/o";'
+    )
+    compiled = compile_script(script, small_catalog)
+    unions = [op for op in logical.walk(compiled.root) if isinstance(op, logical.UnionAll)]
+    assert len(unions) == 1
+
+
+def test_compile_distinct_aggregate(small_catalog):
+    script = (
+        "s = SELECT region, COUNT(DISTINCT uid) AS u FROM users GROUP BY region;\n"
+        'OUTPUT s TO "/o";'
+    )
+    compiled = compile_script(script, small_catalog)
+    agg = next(op for op in logical.walk(compiled.root) if isinstance(op, logical.Aggregate))
+    assert agg.aggs[0].distinct

@@ -1,0 +1,236 @@
+"""Lexer, parser and binder tests."""
+
+import pytest
+
+from repro.errors import BindError, LexerError, ParseError
+from repro.scope.language import ast
+from repro.scope.language.binder import Binder
+from repro.scope.language.lexer import TokenKind, tokenize
+from repro.scope.language.parser import parse_script
+from repro.scope.types import DataType
+
+from tests.conftest import JOIN_AGG_SCRIPT
+
+
+# -- lexer -------------------------------------------------------------------
+
+
+def test_tokenize_keywords_case_insensitive():
+    tokens = tokenize("select Select SELECT")
+    assert all(t.kind == TokenKind.KEYWORD and t.text == "SELECT" for t in tokens[:-1])
+
+
+def test_tokenize_numbers_and_strings():
+    tokens = tokenize('42 3.14 "hello world"')
+    assert tokens[0].text == "42"
+    assert tokens[1].text == "3.14"
+    assert tokens[2].kind == TokenKind.STRING
+    assert tokens[2].text == "hello world"
+
+
+def test_tokenize_two_char_symbols():
+    kinds = [t.text for t in tokenize("== != <= >= < >")[:-1]]
+    assert kinds == ["==", "!=", "<=", ">=", "<", ">"]
+
+
+def test_tokenize_comments_skipped():
+    tokens = tokenize("a // comment to end\nb")
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_tokenize_tracks_positions():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_tokenize_rejects_bad_char():
+    with pytest.raises(LexerError):
+        tokenize("a ? b")
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(LexerError):
+        tokenize('"oops')
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\"b"')
+    assert tokens[0].text == 'a"b'
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def test_parse_full_script_roundtrips_statements():
+    script = parse_script(JOIN_AGG_SCRIPT)
+    assert len(script.statements) == 6
+    assert len(script.outputs) == 2
+
+
+def test_parse_extract_columns():
+    script = parse_script('r = EXTRACT a:int, b:string FROM "/p.ss";\nOUTPUT r TO "/o";')
+    extract = script.statements[0]
+    assert isinstance(extract, ast.ExtractStatement)
+    assert [c.name for c in extract.columns] == ["a", "b"]
+    assert extract.columns[1].dtype == DataType.STRING
+
+
+def test_parse_expression_precedence():
+    script = parse_script(
+        'r = EXTRACT a:int FROM "/p";\ns = SELECT a FROM r WHERE a + 1 * 2 == 3 AND a < 5;\nOUTPUT s TO "/o";'
+    )
+    where = script.statements[1].query.where
+    assert isinstance(where, ast.BinaryOp) and where.op == "AND"
+    left = where.left
+    assert left.op == "==" and left.left.op == "+"
+    assert left.left.right.op == "*"  # * binds tighter than +
+
+
+def test_parse_group_by_having_order_by():
+    script = parse_script(
+        'r = EXTRACT a:int, v:double FROM "/p";\n'
+        "s = SELECT a, SUM(v) AS t FROM r GROUP BY a HAVING SUM(v) > 10 ORDER BY t DESC;\n"
+        'OUTPUT s TO "/o";'
+    )
+    query = script.statements[1].query
+    assert query.group_by and query.having is not None
+    assert query.order_by[0].ascending is False
+
+
+def test_parse_union_all_chain():
+    script = parse_script(
+        'r = EXTRACT a:int FROM "/p";\n'
+        "s = SELECT a FROM r UNION ALL SELECT a FROM r;\n"
+        'OUTPUT s TO "/o";'
+    )
+    assert script.statements[1].query.union_all is not None
+
+
+def test_parse_count_star_and_distinct():
+    script = parse_script(
+        'r = EXTRACT a:int FROM "/p";\n'
+        "s = SELECT a, COUNT(*) AS c, COUNT(DISTINCT a) AS d FROM r GROUP BY a;\n"
+        'OUTPUT s TO "/o";'
+    )
+    items = script.statements[1].query.items
+    assert isinstance(items[1].expr.args[0], ast.Star)
+    assert items[2].expr.distinct
+
+
+def test_parse_errors_are_descriptive():
+    with pytest.raises(ParseError):
+        parse_script("OUTPUT TO x;")
+    with pytest.raises(ParseError):
+        parse_script('r = SELECT FROM t;\nOUTPUT r TO "/o";')
+    with pytest.raises(ParseError):
+        parse_script("")
+
+
+# -- binder -------------------------------------------------------------------
+
+
+def test_binder_resolves_and_normalizes(small_catalog):
+    bound = Binder(small_catalog).bind(parse_script(JOIN_AGG_SCRIPT))
+    assert set(bound.rowset_schemas) == {"raw", "filtered", "joined", "agg"}
+    # every column ref in the bound tree carries a qualifier
+    query = bound.script.statements[1].query
+    for item in query.items:
+        assert isinstance(item.expr, ast.ColumnRef)
+        assert item.expr.qualifier is not None
+        assert item.alias is not None
+
+
+def test_binder_rejects_unknown_table(small_catalog):
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(
+            parse_script('s = SELECT x FROM ghost;\nOUTPUT s TO "/o";')
+        )
+
+
+def test_binder_rejects_unknown_column(small_catalog):
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(
+            parse_script('s = SELECT nope FROM users;\nOUTPUT s TO "/o";')
+        )
+
+
+def test_binder_rejects_ambiguous_column(small_catalog):
+    script = (
+        "s = SELECT uid FROM users AS a JOIN events AS b ON a.uid == b.uid;\n"
+        'OUTPUT s TO "/o";'
+    )
+    with pytest.raises(BindError, match="ambiguous"):
+        Binder(small_catalog).bind(parse_script(script))
+
+
+def test_binder_rejects_type_errors(small_catalog):
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(
+            parse_script('s = SELECT uid FROM users WHERE region + 1;\nOUTPUT s TO "/o";')
+        )
+
+
+def test_binder_rejects_non_aggregated_item(small_catalog):
+    script = (
+        "s = SELECT age, COUNT(*) AS c FROM users GROUP BY region;\n"
+        'OUTPUT s TO "/o";'
+    )
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(parse_script(script))
+
+
+def test_binder_rejects_extract_type_mismatch(small_catalog):
+    script = 'r = EXTRACT uid:int FROM "/shares/data/users.ss";\nOUTPUT r TO "/o";'
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(parse_script(script))
+
+
+def test_binder_requires_output(small_catalog):
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(parse_script("s = SELECT uid FROM users;"))
+
+
+def test_binder_expands_star(small_catalog):
+    bound = Binder(small_catalog).bind(
+        parse_script('s = SELECT * FROM users;\nOUTPUT s TO "/o";')
+    )
+    assert bound.rowset_schemas["s"].names == ("uid", "age", "region")
+
+
+def test_binder_union_type_check(small_catalog):
+    script = (
+        "s = SELECT uid FROM users UNION ALL SELECT region FROM users;\n"
+        'OUTPUT s TO "/o";'
+    )
+    # uid is long, region is int: both numeric but different types
+    with pytest.raises(BindError):
+        Binder(small_catalog).bind(parse_script(script))
+
+
+# -- ast helpers ---------------------------------------------------------------
+
+
+def test_split_and_make_conjunction_roundtrip():
+    a = ast.ColumnRef("a")
+    pred = ast.BinaryOp(
+        "AND",
+        ast.BinaryOp("==", a, ast.Literal(1, DataType.LONG)),
+        ast.BinaryOp("AND", ast.ColumnRef("b"), ast.ColumnRef("c")),
+    )
+    conjuncts = ast.split_conjuncts(pred)
+    assert len(conjuncts) == 3
+    rebuilt = ast.make_conjunction(conjuncts)
+    assert ast.split_conjuncts(rebuilt) == conjuncts
+
+
+def test_columns_in_traverses_everything():
+    expr = ast.FuncCall(
+        "SUM", (ast.BinaryOp("+", ast.ColumnRef("x"), ast.ColumnRef("y")),)
+    )
+    assert {c.name for c in ast.columns_in(expr)} == {"x", "y"}
+
+
+def test_contains_aggregate():
+    assert ast.contains_aggregate(ast.FuncCall("COUNT", (ast.Star(),)))
+    assert not ast.contains_aggregate(ast.ColumnRef("a"))

@@ -1,0 +1,207 @@
+"""Optimizer tests: memo, rules machinery, search, signatures, failures."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.scope.compile import compile_script
+from repro.scope.optimizer.rules.base import (
+    RuleCategory,
+    RuleConfiguration,
+    RuleFlip,
+    RuleSignature,
+    default_registry,
+)
+from repro.scope.plan import physical
+from repro.scope.plan.properties import Distribution, DistributionKind, PhysProps
+
+from tests.conftest import COPY_SCRIPT, JOIN_AGG_SCRIPT
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+# -- rule framework ------------------------------------------------------------
+
+
+def test_registry_has_all_four_categories(registry):
+    for category in RuleCategory:
+        assert registry.ids_in_category(category), category
+
+
+def test_rule_ids_are_stable_positions(registry):
+    for rule_id, rule in enumerate(registry):
+        assert rule.rule_id == rule_id
+
+
+def test_default_configuration_excludes_off_by_default(registry):
+    config = registry.default_configuration()
+    for rule in registry:
+        expected = rule.category != RuleCategory.OFF_BY_DEFAULT
+        assert config.is_enabled(rule.rule_id) == expected
+
+
+def test_flip_is_involution(registry):
+    config = registry.default_configuration()
+    flipped = config.with_flip(3).with_flip(3)
+    assert flipped == config
+
+
+def test_flip_out_of_range(registry):
+    with pytest.raises(OptimizationError):
+        registry.default_configuration().with_flip(10_000)
+
+
+def test_configuration_diff(registry):
+    config = registry.default_configuration()
+    assert config.with_flip(2).diff(config) == [2]
+
+
+def test_flippable_excludes_required(registry):
+    flippable = set(registry.flippable_ids)
+    for rule_id in registry.ids_in_category(RuleCategory.REQUIRED):
+        assert rule_id not in flippable
+
+
+def test_signature_bitstring(registry):
+    signature = RuleSignature.from_ids([0, 2], 4)
+    assert signature.as_bitstring() == "1010"
+    assert 2 in signature and 1 not in signature
+
+
+def test_rule_flip_describe(registry):
+    text = RuleFlip(registry.by_name("FilterImpl").rule_id, False).describe(registry)
+    assert "OFF FilterImpl" in text
+
+
+# -- optimization ------------------------------------------------------------------
+
+
+def test_optimize_produces_plan_and_signature(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    result = engine.optimize(compiled)
+    assert result.est_cost > 0
+    names = {engine.registry.rule(i).name for i in result.signature_ids}
+    assert "HashJoinPairImpl" in names or "HashJoinBroadcastImpl" in names
+    assert "JoinResidualToKeys" in names  # equi keys were promoted
+    assert "ExtractImpl" in names
+
+
+def test_optimize_is_deterministic(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    first = engine.optimize(compiled)
+    second = engine.optimize(compiled)
+    assert first.est_cost == second.est_cost
+    assert first.signature_ids == second.signature_ids
+
+
+def test_plan_contains_exchanges_for_distribution(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    plan = engine.optimize(compiled).plan
+    ops = [node.op for node in plan.walk()]
+    assert any(isinstance(op, physical.Exchange) for op in ops)
+    assert any(isinstance(op, physical.HashJoin) for op in ops)
+
+
+def test_copy_job_signature_is_required_only(engine, small_catalog, registry):
+    compiled = compile_script(COPY_SCRIPT, small_catalog)
+    result = engine.optimize(compiled)
+    non_required = result.signature.non_required_ids(engine.registry)
+    assert non_required == frozenset()
+
+
+def test_disabling_sole_aggregate_impl_fails(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    rule_id = engine.registry.by_name("HashAggregateImpl").rule_id
+    config = engine.default_config.with_flip(rule_id)
+    with pytest.raises(OptimizationError):
+        engine.optimize(compiled, config)
+
+
+def test_stream_agg_rescues_disabled_hash_agg(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    config = engine.default_config.with_flips(
+        [
+            engine.registry.by_name("HashAggregateImpl").rule_id,
+            engine.registry.by_name("StreamAggregateImpl").rule_id,
+        ]
+    )
+    result = engine.optimize(compiled, config)
+    ops = [node.op for node in result.plan.walk()]
+    assert any(isinstance(op, physical.StreamAggregate) for op in ops)
+
+
+def test_disabling_residual_promotion_forces_nested_loops(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    default_result = engine.optimize(compiled)
+    rule_id = engine.registry.by_name("JoinResidualToKeys").rule_id
+    result = engine.optimize(compiled, engine.default_config.with_flip(rule_id))
+    ops = [node.op for node in result.plan.walk()]
+    assert any(isinstance(op, physical.NestedLoopJoin) for op in ops)
+    # the nested-loop plan is catastrophically more expensive
+    assert result.est_cost > default_result.est_cost * 10
+
+
+def test_enabling_local_global_agg_lowers_cost(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    default_result = engine.optimize(compiled)
+    rule_id = engine.registry.by_name("LocalGlobalAggregation").rule_id
+    result = engine.optimize(compiled, engine.default_config.with_flip(rule_id))
+    assert result.est_cost < default_result.est_cost
+    ops = [node.op for node in result.plan.walk()]
+    partials = [
+        op for op in ops if isinstance(op, physical.HashAggregate) and op.is_partial
+    ]
+    assert partials
+
+
+def test_restricting_search_never_lowers_true_rows_at_root(engine, small_catalog):
+    """Different configs give plans with identical root cardinality."""
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    base = engine.optimize(compiled)
+    rule_id = engine.registry.by_name("JoinCommute").rule_id
+    other = engine.optimize(compiled, engine.default_config.with_flip(rule_id))
+    base_roots = sorted(round(c.true_rows) for c in base.plan.children)
+    other_roots = sorted(round(c.true_rows) for c in other.plan.children)
+    assert base_roots == other_roots
+
+
+def test_plan_extraction_dedups_shared_subplans(engine, small_catalog):
+    compiled = compile_script(JOIN_AGG_SCRIPT, small_catalog)
+    plan = engine.optimize(compiled).plan
+    extracts = [n for n in plan.walk() if isinstance(n.op, physical.Extract)]
+    tables = [n.op.table.name for n in extracts]
+    # events is read by both output trees but the subplan is shared
+    assert tables.count("events") == 1
+
+
+# -- physical properties -------------------------------------------------------------
+
+
+def test_distribution_satisfaction_rules():
+    hash_ab = Distribution.hash(("a", "b"))
+    assert hash_ab.satisfies(Distribution.any())
+    assert hash_ab.satisfies(hash_ab)
+    assert not hash_ab.satisfies(Distribution.hash(("a",)))
+    assert Distribution.singleton().satisfies(hash_ab)
+    assert not Distribution.random().satisfies(Distribution.broadcast())
+
+
+def test_physprops_sort_prefix():
+    sorted_props = PhysProps(Distribution.random(), (("a", True), ("b", False)))
+    assert sorted_props.satisfies(PhysProps(Distribution.any(), (("a", True),)))
+    assert not sorted_props.satisfies(PhysProps(Distribution.any(), (("b", False),)))
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        Distribution(DistributionKind.HASH)
+    with pytest.raises(ValueError):
+        Distribution(DistributionKind.RANDOM, ("a",))
+
+
+def test_distribution_remap_through_rename():
+    dist = Distribution.hash(("a",))
+    assert dist.remap({"a": "x"}) == Distribution.hash(("x",))
+    assert dist.remap({}).kind == DistributionKind.RANDOM

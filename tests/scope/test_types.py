@@ -1,0 +1,64 @@
+import pytest
+
+from repro.errors import CatalogError
+from repro.scope.types import Column, DataType, Schema
+
+
+def test_datatype_parse_roundtrip():
+    for dtype in DataType:
+        assert DataType.parse(dtype.value) is dtype
+
+
+def test_datatype_parse_unknown_raises():
+    with pytest.raises(CatalogError):
+        DataType.parse("varchar")
+
+
+def test_datatype_numeric_classification():
+    assert DataType.INT.is_numeric
+    assert DataType.DOUBLE.is_numeric
+    assert not DataType.STRING.is_numeric
+    assert not DataType.BOOL.is_numeric
+
+
+def test_schema_lookup_and_index():
+    schema = Schema([Column("a", DataType.INT), Column("b", DataType.STRING)])
+    assert schema.column("b").dtype == DataType.STRING
+    assert schema.index_of("a") == 0
+    assert "a" in schema
+    assert "z" not in schema
+
+
+def test_schema_duplicate_column_rejected():
+    with pytest.raises(CatalogError):
+        Schema([Column("a", DataType.INT), Column("a", DataType.INT)])
+
+
+def test_schema_unknown_column_raises():
+    schema = Schema([Column("a", DataType.INT)])
+    with pytest.raises(CatalogError):
+        schema.column("missing")
+
+
+def test_schema_project_reorders():
+    schema = Schema([Column("a", DataType.INT), Column("b", DataType.LONG)])
+    projected = schema.project(["b", "a"])
+    assert projected.names == ("b", "a")
+
+
+def test_schema_concat_disambiguates():
+    left = Schema([Column("a", DataType.INT)])
+    right = Schema([Column("a", DataType.INT), Column("b", DataType.INT)])
+    joined = left.concat(right)
+    assert joined.names == ("a", "a_r", "b")
+
+
+def test_schema_concat_without_disambiguation_rejects_dups():
+    left = Schema([Column("a", DataType.INT)])
+    with pytest.raises(CatalogError):
+        left.concat(Schema([Column("a", DataType.INT)]), disambiguate=False)
+
+
+def test_row_width_accounts_for_types():
+    schema = Schema([Column("a", DataType.LONG), Column("s", DataType.STRING)])
+    assert schema.row_width == 8 + 24

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bandit.features import ActionFeatures, ContextFeatures, joint_features
+from repro.rng import keyed_rng, stable_hash
+from repro.scope.language import ast
+from repro.scope.optimizer.rules.base import (
+    RuleConfiguration,
+    RuleFlip,
+    RuleSignature,
+    default_registry,
+)
+from repro.scope.types import Column, DataType, Schema
+from repro.sis.hints import HintEntry, parse_hint_file, render_hint_file
+
+_REGISTRY = default_registry()
+_SIZE = len(_REGISTRY)
+
+
+@given(st.integers(min_value=0, max_value=(1 << _SIZE) - 1), st.integers(0, _SIZE - 1))
+def test_flip_is_involution(bits, rule_id):
+    config = RuleConfiguration(bits, _SIZE)
+    assert config.with_flip(rule_id).with_flip(rule_id) == config
+
+
+@given(st.integers(min_value=0, max_value=(1 << _SIZE) - 1))
+def test_bitstring_roundtrip(bits):
+    config = RuleConfiguration(bits, _SIZE)
+    text = config.as_bitstring()
+    assert len(text) == _SIZE
+    rebuilt = sum(1 << i for i, ch in enumerate(text) if ch == "1")
+    assert rebuilt == bits
+
+
+@given(st.lists(st.integers(0, _SIZE - 1), unique=True))
+def test_configuration_diff_matches_flips(rule_ids):
+    config = _REGISTRY.default_configuration()
+    flipped = config.with_flips(rule_ids)
+    assert sorted(flipped.diff(config)) == sorted(rule_ids)
+
+
+@given(st.sets(st.integers(0, _SIZE - 1)))
+def test_signature_membership(ids):
+    signature = RuleSignature.from_ids(ids, _SIZE)
+    for rule_id in range(_SIZE):
+        assert (rule_id in signature) == (rule_id in ids)
+
+
+_names = st.text(alphabet="abcdefg", min_size=1, max_size=4)
+
+
+@given(st.lists(_names, unique=True, min_size=1, max_size=6))
+def test_schema_project_identity(names):
+    schema = Schema([Column(n, DataType.INT) for n in names])
+    assert schema.project(list(names)).names == tuple(names)
+
+
+@given(
+    st.lists(_names, unique=True, min_size=1, max_size=4),
+    st.lists(_names, unique=True, min_size=1, max_size=4),
+)
+def test_schema_concat_width_additive(left_names, right_names):
+    left = Schema([Column(n, DataType.INT) for n in left_names])
+    right = Schema([Column(n, DataType.LONG) for n in right_names])
+    joined = left.concat(right)
+    assert len(joined) == len(left) + len(right)
+    assert joined.row_width == left.row_width + right.row_width
+
+
+_literals = st.integers(-100, 100).map(lambda v: ast.Literal(v, DataType.LONG))
+_columns = _names.map(ast.ColumnRef)
+_comparisons = st.tuples(_columns, _literals).map(
+    lambda pair: ast.BinaryOp("==", pair[0], pair[1])
+)
+
+
+@given(st.lists(_comparisons, min_size=1, max_size=6))
+def test_conjunction_split_roundtrip(conjuncts):
+    rebuilt = ast.split_conjuncts(ast.make_conjunction(conjuncts))
+    assert rebuilt == conjuncts
+
+
+@given(st.lists(_comparisons, min_size=1, max_size=4))
+def test_predicate_sql_is_parseable_shape(conjuncts):
+    text = ast.make_conjunction(conjuncts).sql()
+    assert text.count("(") == text.count(")")
+
+
+@given(st.integers(), st.integers())
+def test_stable_hash_is_stable_and_64bit(a, b):
+    assert stable_hash(a, b) == stable_hash(a, b)
+    assert 0 <= stable_hash(a, b) < (1 << 64)
+    assert stable_hash(a, b) == stable_hash(a, b)
+
+
+@given(st.integers(0, 2**32), st.text(max_size=8))
+def test_keyed_rng_deterministic(seed, tag):
+    a = keyed_rng(seed, tag).random()
+    b = keyed_rng(seed, tag).random()
+    assert a == b
+
+
+@settings(max_examples=30)
+@given(
+    st.sets(st.integers(0, _SIZE - 1), min_size=0, max_size=8),
+    st.integers(0, _SIZE - 1),
+    st.booleans(),
+)
+def test_joint_features_deterministic(span, rule_id, turn_on):
+    context = ContextFeatures(span=tuple(sorted(span)))
+    action = ActionFeatures(rule_id=rule_id, turn_on=turn_on)
+    first = joint_features(context, action, bits=16)
+    second = joint_features(context, action, bits=16)
+    assert first.values == second.values
+
+
+_off_rules = _REGISTRY.ids_in_category(
+    __import__("repro.scope.optimizer.rules.base", fromlist=["RuleCategory"]).RuleCategory.OFF_BY_DEFAULT
+)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from(_off_rules), unique=True, min_size=1, max_size=4))
+def test_hint_file_roundtrip(rule_ids):
+    entries = [
+        HintEntry(f"T{i:04d}", RuleFlip(rule_id, True))
+        for i, rule_id in enumerate(rule_ids)
+    ]
+    assert parse_hint_file(render_hint_file(entries, day=1)) == entries

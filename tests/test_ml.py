@@ -1,0 +1,65 @@
+"""OLS regression and summary statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.linreg import LinearRegression
+from repro.ml.stats import coefficient_of_variation, pearson_r, polynomial_trend
+
+
+def test_ols_recovers_coefficients():
+    rng = np.random.default_rng(1)
+    features = rng.normal(size=(200, 2))
+    targets = 0.5 * features[:, 0] - 2.0 * features[:, 1] + 3.0
+    model = LinearRegression().fit(features, targets)
+    assert model.coef_[0] == pytest.approx(0.5, abs=1e-9)
+    assert model.coef_[1] == pytest.approx(-2.0, abs=1e-9)
+    assert model.intercept_ == pytest.approx(3.0, abs=1e-9)
+    assert model.r2_score(features, targets) == pytest.approx(1.0)
+
+
+def test_ols_prediction_shape():
+    features = np.vstack([np.eye(3), -np.eye(3)])
+    model = LinearRegression().fit(features, np.ones(6))
+    assert model.predict(features).shape == (6,)
+
+
+def test_ols_unfitted_raises():
+    with pytest.raises(ValidationError):
+        LinearRegression().predict(np.zeros((1, 2)))
+
+
+def test_ols_validates_inputs():
+    with pytest.raises(ValidationError):
+        LinearRegression().fit(np.zeros(3), np.zeros(3))  # 1-D features
+    with pytest.raises(ValidationError):
+        LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))  # size mismatch
+    with pytest.raises(ValidationError):
+        LinearRegression().fit(np.zeros((2, 2)), np.zeros(2))  # too few samples
+
+
+def test_cv_of_constant_sample_is_zero():
+    assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+    assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+def test_cv_scale_invariant():
+    a = coefficient_of_variation([1.0, 2.0, 3.0])
+    b = coefficient_of_variation([10.0, 20.0, 30.0])
+    assert a == pytest.approx(b)
+
+
+def test_pearson_r_bounds_and_degenerate():
+    x = np.arange(10.0)
+    assert pearson_r(x, 2 * x) == pytest.approx(1.0)
+    assert pearson_r(x, -x) == pytest.approx(-1.0)
+    assert pearson_r(x, np.ones(10)) == 0.0
+    assert pearson_r([1.0], [2.0]) == 0.0
+
+
+def test_polynomial_trend_recovers_line():
+    x = np.linspace(-1, 1, 50)
+    slope, intercept = polynomial_trend(x, 3 * x + 1)
+    assert slope == pytest.approx(3.0, abs=1e-9)
+    assert intercept == pytest.approx(1.0, abs=1e-9)

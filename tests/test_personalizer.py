@@ -1,0 +1,93 @@
+"""Personalizer service tests: rank/reward, modes, versioning, CFE."""
+
+import pytest
+
+from repro.bandit.features import ActionFeatures, ContextFeatures
+from repro.config import BanditConfig
+from repro.errors import PersonalizerError
+from repro.personalizer.service import PersonalizerService
+
+
+def _context():
+    return ContextFeatures(span=(1, 2), estimated_cost=10.0)
+
+
+def _actions(n=3):
+    return [ActionFeatures(rule_id=None)] + [
+        ActionFeatures(rule_id=i, turn_on=True) for i in range(1, n)
+    ]
+
+
+def test_rank_returns_event_and_probability():
+    service = PersonalizerService(seed=1)
+    response = service.rank(_context(), _actions())
+    assert response.probability == pytest.approx(1.0 / 3)
+    assert service.pending_events == 1
+
+
+def test_rank_empty_actions_rejected():
+    with pytest.raises(PersonalizerError):
+        PersonalizerService(seed=1).rank(_context(), [])
+
+
+def test_reward_consumes_event():
+    service = PersonalizerService(seed=1)
+    response = service.rank(_context(), _actions())
+    service.reward(response.event_id, 1.0)
+    assert service.pending_events == 0
+    assert len(service.event_log) == 1
+    with pytest.raises(PersonalizerError):
+        service.reward(response.event_id, 1.0)
+
+
+def test_unknown_event_rejected():
+    with pytest.raises(PersonalizerError):
+        PersonalizerService(seed=1).reward("nope", 1.0)
+
+
+def test_learned_mode_exploits_rewards():
+    config = BanditConfig(epsilon=0.0, learning_rate=0.3)
+    service = PersonalizerService(config, seed=2, mode="uniform_logging")
+    actions = _actions(3)
+    # action 2 is clearly best
+    for _ in range(200):
+        response = service.rank(_context(), actions)
+        reward = 1.8 if response.action.rule_id == 2 else 0.6
+        service.reward(response.event_id, reward)
+    service.switch_mode("learned")
+    picks = [service.rank(_context(), actions) for _ in range(10)]
+    for response in picks:
+        service.reward(response.event_id, 1.0)
+    assert sum(1 for p in picks if p.action.rule_id == 2) >= 8
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(PersonalizerError):
+        PersonalizerService(seed=1, mode="chaotic")
+    with pytest.raises(PersonalizerError):
+        PersonalizerService(seed=1).switch_mode("chaotic")
+
+
+def test_model_versioning_roundtrip():
+    service = PersonalizerService(seed=3)
+    response = service.rank(_context(), _actions())
+    service.reward(response.event_id, 2.0)
+    version = service.publish_version()
+    before = service.learner.snapshot()
+    response = service.rank(_context(), _actions())
+    service.reward(response.event_id, -5.0)
+    service.restore_version(version)
+    assert (service.learner.snapshot() == before).all()
+    with pytest.raises(PersonalizerError):
+        service.restore_version(99)
+
+
+def test_counterfactual_evaluation_reports_estimators():
+    service = PersonalizerService(seed=4)
+    for _ in range(50):
+        response = service.rank(_context(), _actions())
+        service.reward(response.event_id, 1.0 if response.action.rule_id else 0.5)
+    estimates = service.counterfactual_evaluate()
+    assert set(estimates) >= {"ips", "snips", "dr", "logged_mean", "events"}
+    assert estimates["events"] == 50.0
+    assert 0.0 <= estimates["snips"] <= 2.0

@@ -1,0 +1,46 @@
+"""Workload-view (Table 1) aggregation tests."""
+
+import pytest
+
+from repro.scope.telemetry.view import WorkloadView, build_view_row
+
+
+@pytest.fixture(scope="module")
+def row(engine, join_agg_job):
+    result = engine.compile_job(join_agg_job, use_hints=False)
+    metrics = engine.execute(result, ("view", 0))
+    return build_view_row(join_agg_job, result, metrics), result, metrics
+
+
+def test_view_row_job_level_features(row):
+    view_row, result, metrics = row
+    assert view_row.job_id == "j-agg"
+    assert view_row.estimated_cost == result.est_cost
+    assert view_row.latency_s == metrics.latency_s
+    assert view_row.pnhours == metrics.pnhours
+    assert view_row.vertices == metrics.vertices
+    assert view_row.rule_signature == result.signature.rule_ids
+
+
+def test_view_row_query_level_aggregation(row):
+    view_row, result, _ = row
+    # the job has two OUTPUT trees: sums aggregate across them (Table 1)
+    assert view_row.query_count == 2
+    roots = result.plan.children
+    assert view_row.estimated_cardinality == pytest.approx(
+        sum(r.est_rows for r in roots)
+    )
+    assert view_row.row_count == pytest.approx(sum(r.true_rows for r in roots))
+    assert view_row.avg_row_length == pytest.approx(
+        sum(float(r.op.schema.row_width) for r in roots) / 2
+    )
+
+
+def test_workload_view_grouping(row):
+    view_row, _, _ = row
+    view = WorkloadView(day=0)
+    view.add(view_row)
+    view.add(view_row)
+    assert len(view) == 2
+    assert set(view.by_template()) == {"t-agg"}
+    assert len(view.by_template()["t-agg"]) == 2
