@@ -1,0 +1,115 @@
+"""Compilation-service plan cache: fewer optimizer runs, identical outcomes.
+
+The QO-Advisor loop compiles each job many times per day (production run,
+default-cost recompilation, flip recompilation, flighting pairs, bootstrap
+corpus).  Optimization under a fixed configuration and catalog day is
+deterministic, so a plan cache must cut real optimizer invocations without
+changing a single pipeline decision.  This bench runs the same bootstrap +
+multi-day simulation twice — cache enabled vs. disabled (ablation) — and
+checks both properties, then benchmarks the hit path.
+"""
+
+import dataclasses
+import time
+
+from repro import QOAdvisor, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import CacheConfig, FlightingConfig, WorkloadConfig
+
+from benchmarks.conftest import record
+
+
+def _day_fingerprint(report):
+    """Everything a day decided, independent of cache plumbing."""
+    return {
+        "day": report.day,
+        "est_costs": [round(r.result.est_cost, 9) for r in report.production_runs],
+        "failed": report.failed_jobs,
+        "recommendations": [
+            (rec.features.job.job_id, rec.flip.rule_id if rec.flip else None)
+            for rec in report.recommendations
+        ],
+        "outcomes": {k.value: v for k, v in report.outcome_counts().items()},
+        "flights": [
+            (f.request.job.job_id, f.status.value, round(f.flight_seconds, 6))
+            for f in report.flight_results
+        ],
+        "validated": [(v.template_id, v.flip.rule_id, v.flip.turn_on) for v in report.validated],
+        "hint_version": report.hint_version,
+        "active_hints": report.active_hint_count,
+    }
+
+
+def _run_pipeline(cache_enabled: bool):
+    config = dataclasses.replace(
+        SimulationConfig(seed=20220613),
+        workload=WorkloadConfig(num_templates=14, num_tables=10),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        cache=CacheConfig(enabled=cache_enabled),
+    )
+    advisor = QOAdvisor(config)
+    advisor.pipeline.bootstrap_validation_model(start_day=0, days=6, flights_per_day=10)
+    start = time.perf_counter()
+    reports = advisor.simulate(start_day=6, days=4, learned_after=1)
+    elapsed = time.perf_counter() - start
+    return advisor, reports, elapsed
+
+
+def test_compile_cache_speedup(benchmark):
+    cached_advisor, cached_reports, cached_elapsed = _run_pipeline(True)
+    plain_advisor, plain_reports, plain_elapsed = _run_pipeline(False)
+
+    cached_stats = cached_advisor.engine.compilation.stats
+    plain_stats = plain_advisor.engine.compilation.stats
+
+    # identical decisions: same flips validated, same hint versions, same
+    # flight outcomes — the cache must be observationally transparent
+    assert [_day_fingerprint(r) for r in cached_reports] == [
+        _day_fingerprint(r) for r in plain_reports
+    ]
+
+    # strictly fewer real optimizer invocations with the cache on
+    assert cached_stats.optimizer_invocations < plain_stats.optimizer_invocations
+    assert cached_stats.hits > 0
+    per_day = [r.cache_stats for r in cached_reports]
+    assert all(day.optimizer_invocations <= day.lookups for day in per_day)
+
+    saved = 1.0 - cached_stats.optimizer_invocations / plain_stats.optimizer_invocations
+    record(
+        "compilation service — plan cache on vs. off",
+        [
+            ComparisonRow(
+                "optimizer invocations (cache on / off)",
+                "fewer with cache",
+                f"{cached_stats.optimizer_invocations} / "
+                f"{plain_stats.optimizer_invocations} ({saved:.0%} saved)",
+                holds=cached_stats.optimizer_invocations
+                < plain_stats.optimizer_invocations,
+            ),
+            ComparisonRow(
+                "plan-cache hit rate over the run",
+                "high (recurring jobs)",
+                f"{cached_stats.hit_rate:.0%} "
+                f"({cached_stats.hits} hits, {cached_stats.evictions} evictions)",
+                holds=cached_stats.hit_rate > 0.2,
+            ),
+            ComparisonRow(
+                "run_day wall clock, 4 days (cache on / off)",
+                "faster with cache",
+                f"{cached_elapsed:.2f}s / {plain_elapsed:.2f}s",
+                holds=cached_elapsed <= plain_elapsed * 1.05,
+            ),
+            ComparisonRow(
+                "DayReport outcomes (flips, hints, flights)",
+                "identical",
+                "identical across all days",
+                holds=True,
+            ),
+        ],
+    )
+
+    # the hot path this PR buys: a repeat compilation served from the cache
+    job = cached_advisor.workload.jobs_for_day(9)[0]
+    engine = cached_advisor.engine
+    engine.compile_job(job, use_hints=False)  # ensure it is resident
+    benchmark(lambda: engine.compile_job(job, use_hints=False).est_cost)

@@ -19,13 +19,14 @@ Quickstart::
     print(reports[-1].outcome_counts())
 """
 
-from repro.config import SimulationConfig
+from repro.config import CacheConfig, SimulationConfig
 from repro.core.advisor import QOAdvisor
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
+from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QOAdvisor",
@@ -33,6 +34,9 @@ __all__ = [
     "DayReport",
     "ScopeEngine",
     "SimulationConfig",
+    "CacheConfig",
+    "CacheStats",
+    "CompilationService",
     "Workload",
     "build_workload",
     "__version__",

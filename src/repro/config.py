@@ -18,6 +18,7 @@ __all__ = [
     "BanditConfig",
     "FlightingConfig",
     "AdvisorConfig",
+    "CacheConfig",
     "SimulationConfig",
 ]
 
@@ -140,6 +141,20 @@ class AdvisorConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Parameters of the compilation service's plan cache (``scope.cache``)."""
+
+    #: serve memoized plans; disable for ablation (every compile re-optimizes)
+    enabled: bool = True
+    #: maximum number of cached (script, rule-configuration) plans; least
+    #: recently used entries are evicted beyond this
+    capacity: int = 4096
+    #: maximum number of cached parse/bind results (one script is shared by
+    #: every configuration it compiles under)
+    script_capacity: int = 1024
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level configuration: one object wires an entire experiment."""
 
@@ -150,6 +165,7 @@ class SimulationConfig:
     bandit: BanditConfig = field(default_factory=BanditConfig)
     flighting: FlightingConfig = field(default_factory=FlightingConfig)
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy of this config with a different experiment seed."""

@@ -38,8 +38,10 @@ from repro.flighting.results import FlightRequest, FlightResult
 from repro.flighting.service import FlightingService
 from repro.personalizer.service import PersonalizerService
 from repro.rng import keyed_rng
+from repro.scope.cache import CacheStats
 from repro.scope.engine import JobRun, ScopeEngine
 from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.rules.base import RuleFlip
 from repro.scope.telemetry.view import WorkloadView, build_view_row
 from repro.sis.service import SISService
 from repro.workload.generator import Workload
@@ -62,6 +64,9 @@ class DayReport:
     validated: list[ValidatedFlip] = field(default_factory=list)
     hint_version: int | None = None
     active_hint_count: int = 0
+    #: this day's plan-cache activity (delta of the engine's cumulative
+    #: counters across the run_day call); None for hand-built reports
+    cache_stats: CacheStats | None = None
 
     @property
     def steerable_fraction(self) -> float:
@@ -135,8 +140,6 @@ class QOAdvisorPipeline:
         corpus is split by date (earlier week trains, later week tests).
         Returns the full corpus so callers can evaluate generalization.
         """
-        from repro.scope.optimizer.rules.base import RuleFlip
-
         days = days or self.config.advisor.validation_training_days
         corpus: list[FlightResult] = []
         for day in range(start_day, start_day + days):
@@ -162,16 +165,18 @@ class QOAdvisorPipeline:
         return corpus
 
     def _corpus_flip(self, job, span: frozenset[int], rng) -> FlightRequest | None:
-        from repro.scope.optimizer.rules.base import RuleFlip
-
         ordered = sorted(span)
         picks = list(rng.permutation(len(ordered))[:4])
+        try:
+            # invariant across picks: compile the job's default plan once
+            default_cost = self.engine.compile_job(job, use_hints=False).est_cost
+        except ScopeError:
+            return None
         fallback: FlightRequest | None = None
         for pick in picks:
             rule_id = ordered[int(pick)]
             flip = RuleFlip(rule_id, not self.engine.default_config.is_enabled(rule_id))
             try:
-                default_cost = self.engine.compile_job(job, use_hints=False).est_cost
                 new_cost = self.engine.compile_job(job, flip, use_hints=False).est_cost
             except ScopeError:
                 continue
@@ -189,6 +194,7 @@ class QOAdvisorPipeline:
     # -- the daily loop ----------------------------------------------------------
 
     def run_day(self, day: int) -> DayReport:
+        cache_before = self.engine.compilation.stats.snapshot()
         report = DayReport(day=day)
         runs, failed, view = self.run_production(day)
         report.production_runs = runs
@@ -219,6 +225,7 @@ class QOAdvisorPipeline:
             version = self.hint_task.run(report.validated, day)
             report.hint_version = version.version if version else None
         report.active_hint_count = len(self.sis.active_hints())
+        report.cache_stats = self.engine.compilation.stats - cache_before
         self.personalizer.publish_version()
         return report
 

@@ -11,11 +11,14 @@ whose removal the §5.2 ablation studies.
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.recommend import Recommendation
 from repro.errors import ScopeError
+from repro.scope.cache import CompileRequest
 from repro.scope.engine import ScopeEngine
+from repro.scope.optimizer.engine import OptimizationResult
 
 __all__ = ["CostOutcome", "RecompileOutcome", "RecompilationTask"]
 
@@ -57,22 +60,38 @@ class RecompilationTask:
         self.engine = engine
         self.reward_clip = reward_clip
         self.recompilations = 0
+        #: default-config compiles issued per job id — the batch path in
+        #: :meth:`run` must keep every count at 1 per job per day
+        self.default_compiles: Counter[str] = Counter()
 
-    def evaluate(self, recommendation: Recommendation) -> RecompileOutcome:
-        """Classify one flip; does not touch the Personalizer."""
+    def evaluate(
+        self,
+        recommendation: Recommendation,
+        default: OptimizationResult | ScopeError | None = None,
+    ) -> RecompileOutcome:
+        """Classify one flip; does not touch the Personalizer.
+
+        ``default`` is the prefetched default-configuration compilation of
+        the job (an :class:`OptimizationResult`, or the :class:`ScopeError`
+        it failed with).  When None — standalone use — it is compiled here.
+        """
         job = recommendation.features.job
         if recommendation.flip is None:
             return RecompileOutcome(
                 recommendation, CostOutcome.NOOP, recommendation.features.row.estimated_cost,
                 recommendation.features.row.estimated_cost, reward=1.0,
             )
-        try:
-            default_result = self.engine.compile_job(job, use_hints=False)
-            self.recompilations += 1
-            default_cost = default_result.est_cost
-        except ScopeError:
+        if default is None:
+            self.default_compiles[job.job_id] += 1
+            try:
+                default = self.engine.compile_job(job, use_hints=False)
+                self.recompilations += 1
+            except ScopeError as exc:
+                default = exc
+        if isinstance(default, ScopeError):
             # the job itself no longer compiles: treat as failure, no signal
             return RecompileOutcome(recommendation, CostOutcome.FAILURE, 0.0, None, 0.0)
+        default_cost = default.est_cost
         try:
             new_result = self.engine.compile_job(job, recommendation.flip, use_hints=False)
             self.recompilations += 1
@@ -94,8 +113,41 @@ class RecompilationTask:
         return RecompileOutcome(recommendation, outcome, default_cost, new_cost, reward=ratio)
 
     def run(self, recommendations: list[Recommendation]) -> list[RecompileOutcome]:
-        """Evaluate every recommendation (rewards are reported by the caller)."""
-        return [self.evaluate(recommendation) for recommendation in recommendations]
+        """Evaluate every recommendation (rewards are reported by the caller).
+
+        The default-configuration plan is invariant per job, so it is
+        fetched once per distinct job through the compilation service's
+        deduplicating batch API instead of once per recommendation.
+        """
+        defaults = self._prefetch_defaults(recommendations)
+        return [
+            self.evaluate(
+                recommendation,
+                default=defaults.get(recommendation.features.job.job_id),
+            )
+            for recommendation in recommendations
+        ]
+
+    def _prefetch_defaults(
+        self, recommendations: list[Recommendation]
+    ) -> dict[str, OptimizationResult | ScopeError]:
+        """Compile each distinct job's default plan exactly once."""
+        jobs = {}
+        for recommendation in recommendations:
+            if recommendation.flip is None:
+                continue
+            job = recommendation.features.job
+            jobs.setdefault(job.job_id, job)
+        if not jobs:
+            return {}
+        results = self.engine.compilation.compile_many(
+            [CompileRequest(job, use_hints=False) for job in jobs.values()]
+        )
+        self.recompilations += sum(
+            1 for result in results if not isinstance(result, ScopeError)
+        )
+        self.default_compiles.update(jobs.keys())
+        return dict(zip(jobs.keys(), results))
 
 
 def flight_candidates(

@@ -17,7 +17,6 @@ Jobs with an empty span cannot be steered and are dropped by the pipeline.
 from __future__ import annotations
 
 from repro.errors import ScopeError
-from repro.scope.compile import CompiledScript
 from repro.scope.engine import ScopeEngine
 from repro.scope.optimizer.engine import OptimizationResult
 from repro.scope.optimizer.rules.base import RuleCategory
@@ -44,13 +43,19 @@ class SpanComputer:
     def compute(
         self, script: str, default_result: OptimizationResult | None = None
     ) -> frozenset[int]:
-        """Run the fixpoint span heuristic on one script."""
+        """Run the fixpoint span heuristic on one script.
+
+        Every probe goes through the engine's compilation service: the
+        parsed script is shared across probe configurations, and the
+        default-configuration compile lands in the same plan cache the
+        Recompilation task reads the default cost from.
+        """
         engine = self.engine
         registry = engine.registry
+        service = engine.compilation
         try:
-            compiled = engine.compile(script)
             if default_result is None:
-                default_result = engine.optimize(compiled)
+                default_result = service.compile_script(script, engine.default_config)
                 self.recompilations += 1
         except ScopeError:
             return frozenset()
@@ -64,7 +69,7 @@ class SpanComputer:
             flips += [r for r in disabled if config.is_enabled(r)]
             config = config.with_flips(flips)
             try:
-                result = engine.optimize(compiled, config)
+                result = service.compile_script(script, config)
                 self.recompilations += 1
             except ScopeError:
                 break
@@ -82,7 +87,7 @@ class SpanComputer:
         for rule_id in sorted(off_by_default - span):
             config = engine.default_config.with_flip(rule_id)
             try:
-                result = engine.optimize(compiled, config)
+                result = service.compile_script(script, config)
                 self.recompilations += 1
             except ScopeError:
                 span.add(rule_id)  # flipping it breaks compilation: it matters

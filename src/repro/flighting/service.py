@@ -20,6 +20,7 @@ from repro.config import FlightingConfig
 from repro.errors import OptimizationError, ScopeError
 from repro.flighting.results import FlightRequest, FlightResult, FlightStatus
 from repro.rng import keyed_rng
+from repro.scope.cache import CompileRequest
 from repro.scope.engine import ScopeEngine
 from repro.scope.jobs import JobInstance
 from repro.scope.runtime.metrics import JobMetrics
@@ -46,11 +47,18 @@ class FlightingService:
             return FlightResult(request, FlightStatus.FILTERED, day=day)
         if gate_rng.random() < self.config.failure_prob:
             return FlightResult(request, FlightStatus.FAILURE, day=day)
-        try:
-            baseline_result = self.engine.compile_job(job, use_hints=False)
-            treatment_result = self.engine.compile_job(job, request.flip, use_hints=False)
-        except ScopeError:
+        # one deduplicated batch through the compilation service: the A/B
+        # pair shares the parsed script, and an A/A request (flip=None)
+        # collapses to a single compilation
+        compiled = self.engine.compilation.compile_many(
+            [
+                CompileRequest(job, use_hints=False),
+                CompileRequest(job, request.flip, use_hints=False),
+            ]
+        )
+        if any(isinstance(result, ScopeError) for result in compiled):
             return FlightResult(request, FlightStatus.FAILURE, day=day)
+        baseline_result, treatment_result = compiled
         baseline = self.engine.execute(
             baseline_result, ("flight-a", job.job_id, day, self._flight_counter)
         )
@@ -71,8 +79,12 @@ class FlightingService:
         )
 
     def aa_runs(self, job: JobInstance, runs: int, day: int) -> list[JobMetrics]:
-        """A/A testing: execute the default plan ``runs`` times (§5.1)."""
-        result = self.engine.compile_job(job, use_hints=False)
+        """A/A testing: execute the default plan ``runs`` times (§5.1).
+
+        The single compilation goes through the shared plan cache, so A/A
+        batteries after a production run never re-optimize.
+        """
+        result = self.engine.compilation.compile_job(job, use_hints=False)
         return [
             self.engine.execute(result, ("aa", job.job_id, day, i)) for i in range(runs)
         ]

@@ -1,0 +1,303 @@
+"""CompilationService: memoizing front-end of the SCOPE compile path.
+
+The QO-Advisor loop compiles one job many times per day — the production
+run, the Recompilation task's default-cost and flip compiles, the Flighting
+Service's baseline/treatment pair, A/A runs, and the §4.3 bootstrap corpus.
+Optimization under a fixed rule configuration is deterministic (the same
+fact Bao and the production deployment rely on to reuse plans), so the
+(script, rule-configuration) pair fully determines the optimizer's output
+and repeated compilations can be served from a cache.
+
+Three pieces live here:
+
+* :class:`CacheStats` — hit/miss/eviction/invalidation counters plus the
+  number of real optimizer invocations, surfaced per day in ``DayReport``;
+* :class:`PlanCache` — a bounded LRU map from (script hash × configuration
+  bitvector) to the memoized :class:`OptimizationResult` (or the
+  deterministic compile error), with generation-based invalidation: SIS
+  bumps the generation whenever a new hint file version is installed, so a
+  stale plan can never be served under a new hint;
+* :class:`CompilationService` — the layer pipeline stages talk to.  It
+  resolves a job's rule configuration, consults the cache, and only falls
+  through to parse/bind/optimize on a miss.  Its :meth:`compile_many`
+  batch API additionally deduplicates identical requests *before*
+  compiling, so batching wins survive even with the cache disabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.config import CacheConfig
+from repro.errors import ScopeError
+from repro.scope.optimizer.rules.base import RuleConfiguration, RuleFlip
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scope.compile import CompiledScript
+    from repro.scope.engine import ScopeEngine
+    from repro.scope.jobs import JobInstance
+    from repro.scope.optimizer.engine import OptimizationResult
+
+__all__ = ["CacheStats", "PlanCache", "CompileRequest", "CompilationService"]
+
+
+@dataclass
+class CacheStats:
+    """Counters of one compilation service (snapshot/diff for per-day views)."""
+
+    #: plan-cache lookups served from the cache
+    hits: int = 0
+    #: plan-cache lookups that fell through to the optimizer
+    misses: int = 0
+    #: entries dropped because the cache reached capacity (LRU order)
+    evictions: int = 0
+    #: entries dropped by explicit invalidation (SIS hint-version bumps)
+    invalidations: int = 0
+    #: real parse→bind→optimize runs (the number the paper's machine-time
+    #: accounting cares about; misses and disabled-cache compiles both count)
+    optimizer_invocations: int = 0
+    #: parse/bind runs (scripts are re-used across configurations)
+    script_compilations: int = 0
+    #: requests folded into an identical sibling inside one compile_many batch
+    dedup_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable-by-convention copy (use with ``-`` for deltas)."""
+        return replace(self)
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            invalidations=self.invalidations - other.invalidations,
+            optimizer_invocations=self.optimizer_invocations - other.optimizer_invocations,
+            script_compilations=self.script_compilations - other.script_compilations,
+            dedup_hits=self.dedup_hits - other.dedup_hits,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    """Memoized outcome of one (script, configuration) compilation.
+
+    Compile failures are deterministic too, so the error is memoized and
+    re-raised on every hit — a failing flip costs one optimizer run, not one
+    per pipeline stage.
+    """
+
+    result: "OptimizationResult | None" = None
+    error: ScopeError | None = None
+
+
+class PlanCache:
+    """Bounded LRU plan cache keyed by script hash × configuration bits."""
+
+    def __init__(self, capacity: int, stats: CacheStats | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"plan cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        #: bumped on every invalidation (SIS hint installation, catalog
+        #: mutation); all resident entries are dropped at each bump so a
+        #: stale plan is never served
+        self.generation = 0
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def script_hash(script: str) -> bytes:
+        return hashlib.blake2b(script.encode("utf-8"), digest_size=16).digest()
+
+    def key_for(self, script: str, config: RuleConfiguration) -> tuple:
+        return (self.script_hash(script), config.bits, config.size)
+
+    def get(self, key: tuple) -> _CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: _CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def bump_generation(self) -> None:
+        """Invalidate every cached plan (a new SIS hint version is active)."""
+        self.generation += 1
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One unit of work for :meth:`CompilationService.compile_many`."""
+
+    job: "JobInstance"
+    flip: RuleFlip | None = None
+    use_hints: bool = True
+
+
+class CompilationService:
+    """The compile front-end pipeline stages share (one per ScopeEngine)."""
+
+    def __init__(self, engine: "ScopeEngine", config: CacheConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else CacheConfig()
+        self.stats = CacheStats()
+        self.cache = PlanCache(self.config.capacity, self.stats)
+        # parse/bind results are configuration-independent: one script feeds
+        # every probe/flip configuration it is optimized under.  This memo
+        # stays active even with the plan cache disabled — ``enabled`` is the
+        # plan-memoization ablation knob, and binding is deterministic.
+        self._scripts: "OrderedDict[bytes, CompiledScript]" = OrderedDict()
+        self._catalog_version = engine.catalog.version
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    @property
+    def generation(self) -> int:
+        return self.cache.generation
+
+    # -- the service API ------------------------------------------------------
+
+    def compile_job(
+        self,
+        job: "JobInstance",
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> "OptimizationResult":
+        """Resolve the job's configuration, then compile through the cache."""
+        config = self.engine.configuration_for(job, flip, use_hints=use_hints)
+        return self.compile_script(job.script, config)
+
+    def compile_script(
+        self, script: str, config: RuleConfiguration
+    ) -> "OptimizationResult":
+        """Compile a raw script under an explicit configuration (cached)."""
+        entry = self._lookup_or_compile(script, config)
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def _key_for(self, script: str, config: RuleConfiguration) -> tuple:
+        """Plan-cache key: script × configuration × catalog version.
+
+        The workload mutates the catalog day over day (recurring inputs
+        drift), so the same script text optimizes to different costs on
+        different days — the catalog version makes those distinct entries.
+        """
+        return self.cache.key_for(script, config) + (self.engine.catalog.version,)
+
+    def _sync_catalog_version(self) -> None:
+        """Drop entries made unreachable by a catalog mutation.
+
+        Keys bake in the catalog version, so old-version entries can never
+        hit again — purging them eagerly keeps the LRU full of live plans
+        instead of yesterday's table sizes.
+        """
+        if self._catalog_version != self.engine.catalog.version:
+            self._catalog_version = self.engine.catalog.version
+            self.cache.bump_generation()
+            self._scripts.clear()
+
+    def compile_many(
+        self, requests: Iterable[CompileRequest]
+    ) -> "list[OptimizationResult | ScopeError]":
+        """Batch compile, deduplicating identical (script, config) requests.
+
+        Results align with ``requests``; a failing compilation yields its
+        exception instance instead of raising, so one bad request cannot
+        abort the batch.  Duplicates are folded before any compilation
+        happens — the dedup win holds even when the cache is disabled.
+        """
+        resolved = [
+            (request.job.script,
+             self.engine.configuration_for(
+                 request.job, request.flip, use_hints=request.use_hints
+             ))
+            for request in requests
+        ]
+        batch: dict[tuple, _CacheEntry] = {}
+        results: "list[OptimizationResult | ScopeError]" = []
+        for script, config in resolved:
+            key = self._key_for(script, config)
+            if key in batch:
+                self.stats.dedup_hits += 1
+            else:
+                batch[key] = self._lookup_or_compile(script, config)
+            entry = batch[key]
+            results.append(entry.error if entry.error is not None else entry.result)
+        return results
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (called by SIS when hints change)."""
+        self.cache.bump_generation()
+
+    # -- internals -------------------------------------------------------------
+
+    def _lookup_or_compile(
+        self, script: str, config: RuleConfiguration
+    ) -> _CacheEntry:
+        if not self.config.enabled:
+            return self._compile(script, config)
+        self._sync_catalog_version()
+        key = self._key_for(script, config)
+        entry = self.cache.get(key)
+        if entry is None:
+            entry = self._compile(script, config)
+            self.cache.put(key, entry)
+        return entry
+
+    def _compile(self, script: str, config: RuleConfiguration) -> _CacheEntry:
+        self.stats.optimizer_invocations += 1
+        try:
+            compiled = self._compiled_script(script)
+            result = self.engine.optimize(compiled, config)
+        except ScopeError as exc:
+            return _CacheEntry(error=exc)
+        return _CacheEntry(result=result)
+
+    def _compiled_script(self, script: str) -> "CompiledScript":
+        """Parse/bind once per distinct script (errors are not memoized).
+
+        Active regardless of ``enabled``: the ablation knob measures plan
+        memoization, and the seed code already shared one parse across every
+        span-probe configuration.
+        """
+        self._sync_catalog_version()
+        # binding captures TableDef objects (row counts) into Get operators,
+        # so the parse/bind memo is catalog-versioned too
+        key = (PlanCache.script_hash(script), self.engine.catalog.version)
+        compiled = self._scripts.get(key)
+        if compiled is None:
+            self.stats.script_compilations += 1
+            compiled = self.engine.compile(script)
+            self._scripts[key] = compiled
+            while len(self._scripts) > self.config.script_capacity:
+                self._scripts.popitem(last=False)
+        else:
+            self._scripts.move_to_end(key)
+        return compiled

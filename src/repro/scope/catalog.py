@@ -96,15 +96,20 @@ class Catalog:
         self._tables: dict[str, TableDef] = {}
         self.stats_seed = stats_seed
         self.stats_staleness_sigma = stats_staleness_sigma
+        #: bumped on every mutation; plan/script caches key on it so a plan
+        #: compiled against yesterday's table sizes is never served today
+        self.version = 0
 
     def add_table(self, table: TableDef) -> None:
         if table.name in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self.version += 1
 
     def replace_table(self, table: TableDef) -> None:
         """Replace a table definition (recurring jobs see fresh inputs daily)."""
         self._tables[table.name] = table
+        self.version += 1
 
     def table(self, name: str) -> TableDef:
         try:

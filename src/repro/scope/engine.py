@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.rng import keyed_rng
+from repro.scope.cache import CompilationService
 from repro.scope.catalog import Catalog
 from repro.scope.compile import CompiledScript, Compiler
 from repro.scope.data import DataModel
@@ -65,6 +66,9 @@ class ScopeEngine:
         self.runtime = RuntimeSimulator(self.config.cluster)
         #: compile-time hint lookup: template id → RuleFlip (wired by SIS)
         self.hint_provider = None
+        #: memoizing compile front-end — every ``compile_job`` goes through
+        #: its plan cache; SIS bumps its generation on hint installation
+        self.compilation = CompilationService(self, self.config.cache)
 
     # -- compilation ---------------------------------------------------------
 
@@ -113,7 +117,22 @@ class ScopeEngine:
         *,
         use_hints: bool = True,
     ) -> OptimizationResult:
-        """Full compilation of a job (may raise OptimizationError)."""
+        """Full compilation of a job (may raise OptimizationError).
+
+        Served through the :class:`CompilationService` plan cache: the
+        resolved (script, configuration) pair only reaches the optimizer on
+        a miss.
+        """
+        return self.compilation.compile_job(job, flip, use_hints=use_hints)
+
+    def compile_job_uncached(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> OptimizationResult:
+        """The raw parse→bind→optimize path, bypassing the plan cache."""
         compiled = self.compile(job.script)
         config = self.configuration_for(job, flip, use_hints=use_hints)
         return self.optimize(compiled, config)

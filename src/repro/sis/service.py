@@ -34,6 +34,7 @@ class SISService:
         self.registry = registry
         self.versions: list[HintFileVersion] = []
         self._active: dict[str, RuleFlip] = {}
+        self._engines: list[ScopeEngine] = []
 
     def upload(self, entries: list[HintEntry], day: int) -> HintFileVersion:
         """Validate and install a new hint file; returns the new version.
@@ -51,6 +52,7 @@ class SISService:
         )
         self.versions.append(version)
         self._active = {entry.template_id: entry.flip for entry in parsed}
+        self._invalidate_plan_caches()
         return version
 
     def rollback(self) -> None:
@@ -64,6 +66,7 @@ class SISService:
             }
         else:
             self._active = {}
+        self._invalidate_plan_caches()
 
     def lookup(self, template_id: str) -> RuleFlip | None:
         """Hint for a template, or None (the optimizer's compile-time probe)."""
@@ -77,5 +80,16 @@ class SISService:
         return len(self.versions)
 
     def attach(self, engine: ScopeEngine) -> None:
-        """Wire this SIS instance into an engine's compile path."""
+        """Wire this SIS instance into an engine's compile path.
+
+        Attached engines also get their plan caches invalidated whenever the
+        active hint set changes (upload or rollback): a plan memoized under
+        an older hint version must never be served under a newer one.
+        """
         engine.hint_provider = self.lookup
+        if all(existing is not engine for existing in self._engines):
+            self._engines.append(engine)
+
+    def _invalidate_plan_caches(self) -> None:
+        for engine in self._engines:
+            engine.compilation.invalidate()

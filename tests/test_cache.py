@@ -1,0 +1,265 @@
+"""CompilationService / PlanCache tests: accounting, LRU, invalidation.
+
+The cache contract: a hit must be indistinguishable from a fresh
+compilation (optimization under a fixed configuration and catalog is
+deterministic), and a stale plan must never be served — neither under a
+new SIS hint version nor under a new catalog day.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import CacheConfig, SimulationConfig
+from repro.core.recommend import Recommendation
+from repro.errors import ScopeError
+from repro.scope.cache import CompileRequest, PlanCache
+from repro.scope.engine import ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.rules.base import RuleFlip
+from repro.sis.hints import HintEntry
+from repro.sis.service import SISService
+
+
+def make_engine(small_catalog, **cache_kwargs) -> ScopeEngine:
+    config = dataclasses.replace(
+        SimulationConfig(seed=101), cache=CacheConfig(**cache_kwargs)
+    )
+    return ScopeEngine(small_catalog, config)
+
+
+@pytest.fixture()
+def fresh_engine(small_catalog) -> ScopeEngine:
+    return make_engine(small_catalog)
+
+
+# -- hit/miss accounting ------------------------------------------------------
+
+
+def test_hit_and_miss_accounting(fresh_engine, join_agg_job):
+    stats = fresh_engine.compilation.stats
+    first = fresh_engine.compile_job(join_agg_job)
+    assert (stats.hits, stats.misses, stats.optimizer_invocations) == (0, 1, 1)
+    second = fresh_engine.compile_job(join_agg_job)
+    assert (stats.hits, stats.misses, stats.optimizer_invocations) == (1, 1, 1)
+    assert second is first  # memoized object, not a recompute
+    assert stats.hit_rate == 0.5
+
+
+def test_distinct_configurations_are_distinct_entries(fresh_engine, join_agg_job):
+    fresh_engine.compile_job(join_agg_job)
+    flip_rule = fresh_engine.registry.by_name("LocalGlobalAggregation").rule_id
+    fresh_engine.compile_job(join_agg_job, RuleFlip(flip_rule, True))
+    stats = fresh_engine.compilation.stats
+    assert stats.misses == 2 and stats.optimizer_invocations == 2
+    # ...but the parsed script is shared between the two configurations
+    assert stats.script_compilations == 1
+
+
+def test_cached_compilation_matches_uncached(fresh_engine, join_agg_job):
+    cached = fresh_engine.compile_job(join_agg_job)
+    cached_again = fresh_engine.compile_job(join_agg_job)  # served from cache
+    uncached = fresh_engine.compile_job_uncached(join_agg_job)
+    assert cached_again.est_cost == uncached.est_cost
+    assert cached_again.signature.rule_ids == uncached.signature.rule_ids
+    assert cached_again.config == uncached.config
+    # executing both plans under the same run key gives identical metrics
+    run_key = join_agg_job.run_key()
+    assert fresh_engine.execute(cached_again, run_key) == fresh_engine.execute(
+        uncached, run_key
+    )
+
+
+def test_compile_failures_are_memoized(fresh_engine):
+    bad = JobInstance("j-bad", "t-bad", "bad", "this is not scope !!", day=0)
+    with pytest.raises(ScopeError):
+        fresh_engine.compile_job(bad)
+    with pytest.raises(ScopeError):
+        fresh_engine.compile_job(bad)
+    stats = fresh_engine.compilation.stats
+    assert stats.optimizer_invocations == 1 and stats.hits == 1
+
+
+# -- LRU bounds ---------------------------------------------------------------
+
+
+def test_lru_eviction_at_capacity(small_catalog, join_agg_job, simple_job, copy_job):
+    engine = make_engine(small_catalog, capacity=2)
+    jobs = [join_agg_job, simple_job, copy_job]
+    for job in jobs:
+        engine.compile_job(job)
+    stats = engine.compilation.stats
+    assert len(engine.compilation.cache) == 2
+    assert stats.evictions == 1
+    # the oldest entry (join_agg) was evicted: compiling it again is a miss
+    engine.compile_job(join_agg_job)
+    assert stats.optimizer_invocations == 4 and stats.hits == 0
+
+
+def test_lru_order_refreshes_on_hit(small_catalog, join_agg_job, simple_job, copy_job):
+    engine = make_engine(small_catalog, capacity=2)
+    engine.compile_job(join_agg_job)
+    engine.compile_job(simple_job)
+    engine.compile_job(join_agg_job)  # refresh: simple is now the LRU entry
+    engine.compile_job(copy_job)  # evicts simple
+    engine.compile_job(join_agg_job)
+    assert engine.compilation.stats.hits == 2  # refresh + final lookup
+
+
+def test_plan_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+# -- batch API ----------------------------------------------------------------
+
+
+def test_compile_many_deduplicates(fresh_engine, join_agg_job, simple_job):
+    requests = [
+        CompileRequest(join_agg_job, use_hints=False),
+        CompileRequest(simple_job, use_hints=False),
+        CompileRequest(join_agg_job, use_hints=False),
+        CompileRequest(join_agg_job, use_hints=False),
+    ]
+    results = fresh_engine.compilation.compile_many(requests)
+    stats = fresh_engine.compilation.stats
+    assert stats.optimizer_invocations == 2
+    assert stats.dedup_hits == 2
+    assert results[0] is results[2] is results[3]
+    assert results[1].est_cost != results[0].est_cost
+
+
+def test_compile_many_returns_errors_inline(fresh_engine, simple_job):
+    bad = JobInstance("j-bad2", "t-bad2", "bad", "garbage !!", day=0)
+    ok, err = fresh_engine.compilation.compile_many(
+        [CompileRequest(simple_job), CompileRequest(bad)]
+    )
+    assert ok.est_cost > 0
+    assert isinstance(err, ScopeError)
+
+
+def test_compile_many_dedup_survives_disabled_cache(small_catalog, simple_job):
+    engine = make_engine(small_catalog, enabled=False)
+    results = engine.compilation.compile_many(
+        [CompileRequest(simple_job), CompileRequest(simple_job)]
+    )
+    stats = engine.compilation.stats
+    assert stats.optimizer_invocations == 1 and stats.dedup_hits == 1
+    assert results[0] is results[1]
+
+
+# -- ablation mode ------------------------------------------------------------
+
+
+def test_disabled_cache_recompiles_every_time(small_catalog, join_agg_job):
+    engine = make_engine(small_catalog, enabled=False)
+    first = engine.compile_job(join_agg_job)
+    second = engine.compile_job(join_agg_job)
+    stats = engine.compilation.stats
+    assert stats.optimizer_invocations == 2
+    assert stats.hits == 0 and stats.misses == 0
+    assert first is not second
+    assert first.est_cost == second.est_cost  # determinism either way
+
+
+# -- invalidation -------------------------------------------------------------
+
+
+def test_sis_hint_publication_invalidates_cache(small_catalog, join_agg_job):
+    engine = make_engine(small_catalog)
+    sis = SISService(engine.registry)
+    sis.attach(engine)
+    stale = engine.compile_job(join_agg_job)
+    assert engine.compilation.generation == 0
+    flip_rule = engine.registry.by_name("LocalGlobalAggregation").rule_id
+    sis.upload([HintEntry(join_agg_job.template_id, RuleFlip(flip_rule, True))], day=1)
+    assert engine.compilation.generation == 1
+    assert len(engine.compilation.cache) == 0
+    assert engine.compilation.stats.invalidations == 1
+    # the next compile resolves the new hint and never sees the stale plan
+    hinted = engine.compile_job(join_agg_job)
+    assert hinted is not stale
+    assert hinted.config.is_enabled(flip_rule) != stale.config.is_enabled(flip_rule)
+    assert engine.compilation.stats.hits == 0
+
+
+def test_sis_rollback_invalidates_cache(small_catalog, join_agg_job):
+    engine = make_engine(small_catalog)
+    sis = SISService(engine.registry)
+    sis.attach(engine)
+    flip_rule = engine.registry.by_name("LocalGlobalAggregation").rule_id
+    sis.upload([HintEntry(join_agg_job.template_id, RuleFlip(flip_rule, True))], day=1)
+    hinted = engine.compile_job(join_agg_job)
+    sis.rollback()
+    assert engine.compilation.generation == 2
+    restored = engine.compile_job(join_agg_job)
+    assert restored.config.is_enabled(flip_rule) != hinted.config.is_enabled(flip_rule)
+
+
+def test_catalog_mutation_never_serves_stale_plans(small_catalog, tiny_config):
+    """Recurring inputs drift daily; a plan cached under yesterday's table
+    sizes must recompile under today's catalog."""
+    from repro.workload.generator import build_workload
+
+    workload = build_workload(tiny_config)
+    engine = ScopeEngine(workload.catalog, tiny_config, workload.registry)
+    job_day0 = workload.jobs_for_day(0)[0]
+    before = engine.compile_job(job_day0, use_hints=False)
+    version_day0 = workload.catalog.version
+    workload.jobs_for_day(1)  # advances (and mutates) the catalog
+    assert workload.catalog.version > version_day0
+    # same script text, new catalog version: the lookup must be a miss
+    hits_before = engine.compilation.stats.hits
+    after = engine.compile_job(job_day0, use_hints=False)
+    assert engine.compilation.stats.hits == hits_before
+    assert after is not before
+
+
+# -- RecompilationTask batching (regression guard) ----------------------------
+
+
+def _features_for(engine, job):
+    from repro.core.features import JobFeatures
+    from repro.core.spans import SpanComputer
+    from repro.scope.telemetry.view import build_view_row
+
+    result = engine.compile_job(job, use_hints=False)
+    metrics = engine.execute(result, job.run_key())
+    row = build_view_row(job, result, metrics)
+    span = SpanComputer(engine).span_for_template(job.template_id, job.script)
+    return JobFeatures(job=job, row=row, span=span)
+
+
+def test_recompilation_compiles_default_once_per_job(fresh_engine, join_agg_job):
+    from repro.core.recompile import RecompilationTask
+
+    features = _features_for(fresh_engine, join_agg_job)
+    lga = fresh_engine.registry.by_name("LocalGlobalAggregation").rule_id
+    jrk = fresh_engine.registry.by_name("JoinResidualToKeys").rule_id
+    recommendations = [
+        Recommendation(features, RuleFlip(lga, True), "e1", 0.1),
+        Recommendation(features, RuleFlip(jrk, False), "e2", 0.1),
+    ]
+    task = RecompilationTask(fresh_engine)
+    outcomes = task.run(recommendations)
+    assert len(outcomes) == 2
+    # one job, two recommendations: exactly one default-config compile
+    assert task.default_compiles[join_agg_job.job_id] == 1
+    assert max(task.default_compiles.values()) == 1
+
+
+def test_pipeline_day_compiles_defaults_once_per_job(tiny_config):
+    """End-to-end lock-in: across a full run_day, the Recompilation task
+    issues at most one default-config compile per job."""
+    from repro import QOAdvisor
+
+    advisor = QOAdvisor(tiny_config)
+    report = advisor.run_day(0)
+    task = advisor.pipeline.recompile_task
+    if task.default_compiles:
+        assert max(task.default_compiles.values()) == 1
+    assert report.cache_stats is not None
+    assert report.cache_stats.optimizer_invocations > 0
+    assert report.cache_stats.hits > 0  # production plans get reused downstream
