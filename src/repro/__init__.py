@@ -19,14 +19,15 @@ Quickstart::
     print(reports[-1].outcome_counts())
 """
 
-from repro.config import CacheConfig, SimulationConfig
+from repro.config import CacheConfig, ExecutionConfig, SimulationConfig
 from repro.core.advisor import QOAdvisor
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
+from repro.parallel import Executor, SerialExecutor, ThreadedExecutor, build_executor
 from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QOAdvisor",
@@ -37,6 +38,11 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "CompilationService",
+    "ExecutionConfig",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "build_executor",
     "Workload",
     "build_workload",
     "__version__",

@@ -19,6 +19,7 @@ __all__ = [
     "FlightingConfig",
     "AdvisorConfig",
     "CacheConfig",
+    "ExecutionConfig",
     "SimulationConfig",
 ]
 
@@ -155,6 +156,22 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class ExecutionConfig:
+    """Parameters of the pipeline's job-parallel executor (``repro.parallel``).
+
+    Every per-job stage of the daily loop (production runs, recompilation,
+    flighting, span probes, the bootstrap corpus) maps over independent jobs
+    through one :class:`repro.parallel.Executor`.  All per-job randomness is
+    drawn from ``keyed_rng`` streams, so reports are byte-identical at any
+    worker count.
+    """
+
+    #: worker threads for per-job stage fan-out; 1 selects the serial
+    #: executor (no thread pool at all)
+    workers: int = 1
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level configuration: one object wires an entire experiment."""
 
@@ -166,6 +183,7 @@ class SimulationConfig:
     flighting: FlightingConfig = field(default_factory=FlightingConfig)
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy of this config with a different experiment seed."""

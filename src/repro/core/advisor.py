@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.config import SimulationConfig
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
 from repro.flighting.service import FlightingService
+from repro.parallel import Executor, build_executor
 from repro.personalizer.service import PersonalizerService
 from repro.scope.engine import ScopeEngine
 from repro.scope.optimizer.rules.base import default_registry
@@ -33,17 +34,24 @@ class QOAdvisor:
 
     config: SimulationConfig = field(default_factory=SimulationConfig)
     workload: Workload | None = None
+    #: job-parallel backbone shared by the pipeline stages and the
+    #: Flighting Service; built from ``config.execution`` when not given
+    executor: Executor | None = None
 
     def __post_init__(self) -> None:
         self.registry = default_registry()
         if self.workload is None:
             self.workload = build_workload(self.config, self.registry)
+        if self.executor is None:
+            self.executor = build_executor(self.config.execution)
         self.engine = ScopeEngine(self.workload.catalog, self.config, self.registry)
         self.sis = SISService(self.registry)
         self.personalizer = PersonalizerService(
             self.config.bandit, seed=self.config.seed, mode="uniform_logging"
         )
-        self.flighting = FlightingService(self.engine, self.config.flighting)
+        self.flighting = FlightingService(
+            self.engine, self.config.flighting, executor=self.executor
+        )
         self.pipeline = QOAdvisorPipeline(
             engine=self.engine,
             workload=self.workload,
@@ -51,8 +59,28 @@ class QOAdvisor:
             personalizer=self.personalizer,
             flighting=self.flighting,
             config=self.config,
+            executor=self.executor,
         )
         self.reports: list[DayReport] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's worker threads (idempotent).
+
+        Thread-pool workers only exit at shutdown, so sweeps constructing
+        many advisors should close each one (or use the advisor as a
+        context manager).  A closed executor lazily re-creates its pool if
+        the advisor is used again.
+        """
+        if self.executor is not None:
+            self.executor.close()
+
+    def __enter__(self) -> "QOAdvisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- deployment phases --------------------------------------------------
 

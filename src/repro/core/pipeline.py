@@ -1,24 +1,33 @@
 """The QO-Advisor daily pipeline (paper Figure 1, §2.5).
 
 One call to :meth:`QOAdvisorPipeline.run_day` performs the full offline
-loop for a given day:
+loop for a given day, decomposed into named :class:`PipelineStage` objects
+that share a :class:`StageContext`:
 
-1. execute the day's production jobs (SIS hints active) and build the
+1. ``production`` — execute the day's jobs (SIS hints active) and build the
    denormalized workload view;
-2. **Feature Generation** — spans + Table 1 features;
-3. **Recommendation** — the contextual bandit picks ≤1 rule flip per job;
-4. **Recompilation** — evaluate flips on estimated cost, feed rewards back
+2. ``features`` — spans + Table 1 features;
+3. ``recommend`` — the contextual bandit picks ≤1 rule flip per job;
+4. ``recompile`` — evaluate flips on estimated cost, feed rewards back
    to the Personalizer, prune non-improving flips;
-5. **Flighting** — one representative job per template, best estimates
+5. ``flight`` — one representative job per template, best estimates
    first, under the machine-time budget;
-6. **Validation** — the regression guard accepts only flips with predicted
+6. ``validate`` — the regression guard accepts only flips with predicted
    PNhours delta below the threshold;
-7. **Hint Generation** — upload the merged hint file to SIS; future
-   instances of the validated templates compile with the flip applied.
+7. ``hintgen`` — upload the merged hint file to SIS; future instances of
+   the validated templates compile with the flip applied.
+
+Every per-job stage fans out through the pipeline's
+:class:`~repro.parallel.Executor` (``ExecutionConfig.workers``); per-stage
+wall-clock timings land in :attr:`DayReport.stage_timings`.  Stages that do
+not run on a given day (validation before the model is fitted) report 0.0,
+so downstream analysis can always key into the full stage list.
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
 from dataclasses import dataclass, field
 
 from repro.config import SimulationConfig
@@ -36,6 +45,7 @@ from repro.core.hintgen import HintGenerationTask
 from repro.errors import ScopeError
 from repro.flighting.results import FlightRequest, FlightResult
 from repro.flighting.service import FlightingService
+from repro.parallel import Executor, build_executor
 from repro.personalizer.service import PersonalizerService
 from repro.rng import keyed_rng
 from repro.scope.cache import CacheStats
@@ -46,7 +56,24 @@ from repro.scope.telemetry.view import WorkloadView, build_view_row
 from repro.sis.service import SISService
 from repro.workload.generator import Workload
 
-__all__ = ["DayReport", "QOAdvisorPipeline"]
+__all__ = [
+    "DayReport",
+    "PipelineStage",
+    "StageContext",
+    "STAGE_NAMES",
+    "QOAdvisorPipeline",
+]
+
+#: canonical stage order; ``DayReport.stage_timings`` always carries every name
+STAGE_NAMES = (
+    "production",
+    "features",
+    "recommend",
+    "recompile",
+    "flight",
+    "validate",
+    "hintgen",
+)
 
 
 @dataclass
@@ -67,6 +94,9 @@ class DayReport:
     #: this day's plan-cache activity (delta of the engine's cumulative
     #: counters across the run_day call); None for hand-built reports
     cache_stats: CacheStats | None = None
+    #: wall-clock seconds per pipeline stage; stages that did not run on
+    #: this day (e.g. validation before the model is fitted) report 0.0
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def steerable_fraction(self) -> float:
@@ -80,6 +110,189 @@ class DayReport:
             counts[item.outcome] += 1
         return counts
 
+    def fingerprint(self) -> str:
+        """Digest of every decision the day produced, minus wall-clock.
+
+        Two runs of the same configured day must produce the same
+        fingerprint at any executor worker count — this is the determinism
+        contract the parallel backbone is tested against.  Stage timings
+        (the only wall-clock-dependent field) are excluded.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+
+        def feed(*parts: object) -> None:
+            for part in parts:
+                hasher.update(repr(part).encode("utf-8"))
+                hasher.update(b"\x1f")
+
+        feed(self.day, self.failed_jobs, self.hint_version, self.active_hint_count)
+        for run in self.production_runs:
+            feed(
+                run.job.job_id,
+                run.result.est_cost,
+                sorted(run.result.signature.rule_ids),
+                run.metrics,
+            )
+        for features in self.features:
+            feed(features.job.job_id, sorted(features.span))
+        for rec in self.recommendations:
+            feed(rec.event_id, rec.flip, rec.probability)
+        for outcome in self.outcomes:
+            feed(
+                outcome.outcome.value,
+                outcome.default_cost,
+                outcome.new_cost,
+                outcome.reward,
+            )
+        for flight in self.flight_results:
+            feed(
+                flight.job.job_id,
+                flight.flip,
+                flight.status.value,
+                flight.baseline,
+                flight.treatment,
+                flight.flight_seconds,
+                flight.day,
+            )
+        for validated in self.validated:
+            feed(
+                validated.template_id,
+                validated.flip,
+                validated.predicted_pnhours_delta,
+            )
+        feed(self.cache_stats)
+        return hasher.hexdigest()
+
+
+@dataclass
+class StageContext:
+    """Shared state the stages of one ``run_day`` call hand to each other.
+
+    Stages reach the executor through their pipeline
+    (``self.pipeline.executor``), which also wires it into the span,
+    recompilation and flighting tasks.
+    """
+
+    day: int
+    report: DayReport
+    #: production runs keyed by job id (set by the production stage)
+    jobs_by_id: dict[str, JobInstance] = field(default_factory=dict)
+
+
+class PipelineStage:
+    """One named step of the daily loop, operating on a :class:`StageContext`."""
+
+    name: str = "?"
+
+    def __init__(self, pipeline: "QOAdvisorPipeline") -> None:
+        self.pipeline = pipeline
+
+    def should_run(self, ctx: StageContext) -> bool:
+        """Whether the stage runs today; skipped stages keep a 0.0 timing."""
+        return True
+
+    def run(self, ctx: StageContext) -> None:
+        raise NotImplementedError
+
+
+class ProductionStage(PipelineStage):
+    """Execute the day's jobs with active hints; build the view file."""
+
+    name = "production"
+
+    def run(self, ctx: StageContext) -> None:
+        runs, failed, view = self.pipeline.run_production(ctx.day)
+        ctx.report.production_runs = runs
+        ctx.report.failed_jobs = failed
+        ctx.report.view = view
+        ctx.jobs_by_id = {run.job.job_id: run.job for run in runs}
+
+
+class FeatureStage(PipelineStage):
+    """View → per-job features (spans probe in parallel per template)."""
+
+    name = "features"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.report.features = self.pipeline.feature_task.run(
+            ctx.report.view, ctx.jobs_by_id
+        )
+
+
+class RecommendStage(PipelineStage):
+    """Contextual-bandit ranking.
+
+    Stays serial: the Personalizer draws exploration randomness from one
+    sequential stream, so rank order is part of the deterministic trace.
+    """
+
+    name = "recommend"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.report.recommendations = self.pipeline.recommend_task.run(
+            ctx.report.features
+        )
+
+
+class RecompileStage(PipelineStage):
+    """Flip recompilation (parallel) + reward feedback (serial, in order)."""
+
+    name = "recompile"
+
+    def run(self, ctx: StageContext) -> None:
+        ctx.report.outcomes = self.pipeline.recompile_task.run(
+            ctx.report.recommendations
+        )
+        for outcome in ctx.report.outcomes:
+            self.pipeline.personalizer.reward(
+                outcome.recommendation.event_id, outcome.reward
+            )
+
+
+class FlightStage(PipelineStage):
+    """Representative selection + the budgeted flighting queue."""
+
+    name = "flight"
+
+    def run(self, ctx: StageContext) -> None:
+        candidates = flight_candidates(
+            ctx.report.outcomes,
+            self.pipeline.config.advisor.recompile_cost_filter,
+        )
+        requests = self.pipeline._representative_requests(candidates, ctx.day)
+        ctx.report.flight_results = self.pipeline.flighting.run_queue(
+            requests, ctx.day
+        )
+
+
+class ValidateStage(PipelineStage):
+    """The regression guard; runs only once the validation model is fitted."""
+
+    name = "validate"
+
+    def should_run(self, ctx: StageContext) -> bool:
+        return self.pipeline.validation_model.is_fitted
+
+    def run(self, ctx: StageContext) -> None:
+        task = ValidationTask(
+            self.pipeline.validation_model,
+            self.pipeline.config.advisor.validation_threshold,
+        )
+        ctx.report.validated = task.run(ctx.report.flight_results)
+
+
+class HintGenStage(PipelineStage):
+    """Validated flips → SIS hint file upload."""
+
+    name = "hintgen"
+
+    def should_run(self, ctx: StageContext) -> bool:
+        return self.pipeline.validation_model.is_fitted
+
+    def run(self, ctx: StageContext) -> None:
+        version = self.pipeline.hint_task.run(ctx.report.validated, ctx.day)
+        ctx.report.hint_version = version.version if version else None
+
 
 class QOAdvisorPipeline:
     """The daily offline loop next to a ScopeEngine."""
@@ -92,6 +305,7 @@ class QOAdvisorPipeline:
         personalizer: PersonalizerService,
         flighting: FlightingService,
         config: SimulationConfig | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self.engine = engine
         self.workload = workload
@@ -99,30 +313,53 @@ class QOAdvisorPipeline:
         self.personalizer = personalizer
         self.flighting = flighting
         self.config = config or engine.config
-        self.spans = SpanComputer(engine)
+        self.executor = executor or build_executor(self.config.execution)
+        self.spans = SpanComputer(engine, executor=self.executor)
         self.feature_task = FeatureGenerationTask(self.spans)
         self.recommend_task = RecommendationTask(personalizer, engine.registry)
         self.recompile_task = RecompilationTask(
-            engine, reward_clip=self.config.bandit.reward_clip
+            engine,
+            reward_clip=self.config.bandit.reward_clip,
+            executor=self.executor,
         )
         self.validation_model = ValidationModel()
         self.hint_task = HintGenerationTask(
             sis, engine.registry, self.config.advisor.max_hints_per_day
         )
+        self.stages: list[PipelineStage] = [
+            ProductionStage(self),
+            FeatureStage(self),
+            RecommendStage(self),
+            RecompileStage(self),
+            FlightStage(self),
+            ValidateStage(self),
+            HintGenStage(self),
+        ]
         sis.attach(engine)
 
     # -- production + view ---------------------------------------------------
 
     def run_production(self, day: int) -> tuple[list[JobRun], list[str], WorkloadView]:
-        """Execute the day's jobs with active hints; build the view file."""
+        """Execute the day's jobs with active hints; build the view file.
+
+        Jobs run in parallel through the executor (plan compilation shares
+        the engine's thread-safe cache; execution noise is keyed per job),
+        and the view is assembled in submission order afterwards.
+        """
         jobs = self.workload.jobs_for_day(day)
+
+        def attempt(job: JobInstance) -> JobRun | None:
+            try:
+                return self.engine.run_job(job)
+            except ScopeError:
+                return None
+
+        outcomes = self.executor.map_jobs(attempt, jobs)
         runs: list[JobRun] = []
         failed: list[str] = []
         view = WorkloadView(day=day)
-        for job in jobs:
-            try:
-                run = self.engine.run_job(job)
-            except ScopeError:
+        for job, run in zip(jobs, outcomes):
+            if run is None:
                 failed.append(job.job_id)
                 continue
             runs.append(run)
@@ -139,25 +376,41 @@ class QOAdvisorPipeline:
         Mirrors §4.3: random flips are flighted over a period of days; the
         corpus is split by date (earlier week trains, later week tests).
         Returns the full corpus so callers can evaluate generalization.
+
+        Candidate flips are evaluated in fixed-size batches through the
+        executor; each job draws its own ``keyed_rng`` stream, and batch
+        membership depends only on submission order, so the corpus is
+        byte-identical at any worker count.
         """
         days = days or self.config.advisor.validation_training_days
         corpus: list[FlightResult] = []
         for day in range(start_day, start_day + days):
             jobs = self.workload.jobs_for_day(day)
-            rng = keyed_rng(self.config.seed, "bootstrap", day)
+
+            def candidate(pair: tuple[JobInstance, frozenset[int]]):
+                job, span = pair
+                rng = keyed_rng(self.config.seed, "bootstrap", day, job.job_id)
+                return self._corpus_flip(job, span, rng)
+
             requests: list[FlightRequest] = []
-            for job in jobs:
+            # jobs are scanned in positional windows: spans (the expensive
+            # per-template probes) and candidate flips are only evaluated
+            # for windows reached before the quota fills, and windows are
+            # cut by position (not worker count), so at most one window of
+            # speculative evaluations happens past the daily quota and the
+            # corpus is identical at any worker count
+            window = max(1, flights_per_day)
+            for start in range(0, len(jobs), window):
                 if len(requests) >= flights_per_day:
                     break
-                span = self.spans.span_for_template(job.template_id, job.script)
-                if not span:
-                    continue
-                # the corpus mirrors pipeline conditions: flights mostly carry
-                # flips that already improved the estimate at recompilation,
-                # plus some purely random ones for coverage (§4.3)
-                flip = self._corpus_flip(job, span, rng)
-                if flip is not None:
-                    requests.append(flip)
+                batch: list[tuple[JobInstance, frozenset[int]]] = []
+                for job in jobs[start : start + window]:
+                    span = self.spans.span_for_template(job.template_id, job.script)
+                    if span:
+                        batch.append((job, span))
+                for request in self.executor.map_jobs(candidate, batch):
+                    if request is not None and len(requests) < flights_per_day:
+                        requests.append(request)
             corpus.extend(self.flighting.run_queue(requests, day))
         midpoint = start_day + days // 2
         train = [r for r in corpus if r.day < midpoint]
@@ -196,34 +449,14 @@ class QOAdvisorPipeline:
     def run_day(self, day: int) -> DayReport:
         cache_before = self.engine.compilation.stats.snapshot()
         report = DayReport(day=day)
-        runs, failed, view = self.run_production(day)
-        report.production_runs = runs
-        report.failed_jobs = failed
-        report.view = view
-
-        jobs_by_id: dict[str, JobInstance] = {run.job.job_id: run.job for run in runs}
-        report.features = self.feature_task.run(view, jobs_by_id)
-
-        report.recommendations = self.recommend_task.run(report.features)
-        report.outcomes = self.recompile_task.run(report.recommendations)
-        for outcome in report.outcomes:
-            self.personalizer.reward(
-                outcome.recommendation.event_id, outcome.reward
-            )
-
-        candidates = flight_candidates(
-            report.outcomes, self.config.advisor.recompile_cost_filter
-        )
-        requests = self._representative_requests(candidates, day)
-        report.flight_results = self.flighting.run_queue(requests, day)
-
-        if self.validation_model.is_fitted:
-            validation = ValidationTask(
-                self.validation_model, self.config.advisor.validation_threshold
-            )
-            report.validated = validation.run(report.flight_results)
-            version = self.hint_task.run(report.validated, day)
-            report.hint_version = version.version if version else None
+        report.stage_timings = {name: 0.0 for name in STAGE_NAMES}
+        ctx = StageContext(day=day, report=report)
+        for stage in self.stages:
+            if not stage.should_run(ctx):
+                continue
+            started = time.perf_counter()
+            stage.run(ctx)
+            report.stage_timings[stage.name] = time.perf_counter() - started
         report.active_hint_count = len(self.sis.active_hints())
         report.cache_stats = self.engine.compilation.stats - cache_before
         self.personalizer.publish_version()

@@ -11,11 +11,13 @@ whose removal the §5.2 ablation studies.
 from __future__ import annotations
 
 import enum
+import threading
 from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.recommend import Recommendation
 from repro.errors import ScopeError
+from repro.parallel import Executor, SerialExecutor
 from repro.scope.cache import CompileRequest
 from repro.scope.engine import ScopeEngine
 from repro.scope.optimizer.engine import OptimizationResult
@@ -56,13 +58,24 @@ class RecompileOutcome:
 class RecompilationTask:
     """Recompiles recommendations and reports rewards to the Personalizer."""
 
-    def __init__(self, engine: ScopeEngine, reward_clip: float = 2.0) -> None:
+    def __init__(
+        self,
+        engine: ScopeEngine,
+        reward_clip: float = 2.0,
+        executor: Executor | None = None,
+    ) -> None:
         self.engine = engine
         self.reward_clip = reward_clip
+        self.executor = executor or SerialExecutor()
         self.recompilations = 0
+        self._count_lock = threading.Lock()
         #: default-config compiles issued per job id — the batch path in
         #: :meth:`run` must keep every count at 1 per job per day
         self.default_compiles: Counter[str] = Counter()
+
+    def _count_recompilation(self, n: int = 1) -> None:
+        with self._count_lock:
+            self.recompilations += n
 
     def evaluate(
         self,
@@ -85,7 +98,7 @@ class RecompilationTask:
             self.default_compiles[job.job_id] += 1
             try:
                 default = self.engine.compile_job(job, use_hints=False)
-                self.recompilations += 1
+                self._count_recompilation()
             except ScopeError as exc:
                 default = exc
         if isinstance(default, ScopeError):
@@ -94,7 +107,7 @@ class RecompilationTask:
         default_cost = default.est_cost
         try:
             new_result = self.engine.compile_job(job, recommendation.flip, use_hints=False)
-            self.recompilations += 1
+            self._count_recompilation()
         except ScopeError:
             return RecompileOutcome(
                 recommendation, CostOutcome.FAILURE, default_cost, None, reward=0.0
@@ -117,16 +130,19 @@ class RecompilationTask:
 
         The default-configuration plan is invariant per job, so it is
         fetched once per distinct job through the compilation service's
-        deduplicating batch API instead of once per recommendation.
+        deduplicating batch API instead of once per recommendation.  Flip
+        evaluations are independent and fan out through the executor;
+        outcomes come back aligned with the recommendation order.
         """
         defaults = self._prefetch_defaults(recommendations)
-        return [
-            self.evaluate(
+
+        def _evaluate(recommendation: Recommendation) -> RecompileOutcome:
+            return self.evaluate(
                 recommendation,
                 default=defaults.get(recommendation.features.job.job_id),
             )
-            for recommendation in recommendations
-        ]
+
+        return self.executor.map_jobs(_evaluate, recommendations)
 
     def _prefetch_defaults(
         self, recommendations: list[Recommendation]
@@ -141,10 +157,11 @@ class RecompilationTask:
         if not jobs:
             return {}
         results = self.engine.compilation.compile_many(
-            [CompileRequest(job, use_hints=False) for job in jobs.values()]
+            [CompileRequest(job, use_hints=False) for job in jobs.values()],
+            executor=self.executor,
         )
-        self.recompilations += sum(
-            1 for result in results if not isinstance(result, ScopeError)
+        self._count_recompilation(
+            sum(1 for result in results if not isinstance(result, ScopeError))
         )
         self.default_compiles.update(jobs.keys())
         return dict(zip(jobs.keys(), results))

@@ -17,6 +17,7 @@ Jobs with an empty span cannot be steered and are dropped by the pipeline.
 from __future__ import annotations
 
 from repro.errors import ScopeError
+from repro.parallel import Executor, SerialExecutor
 from repro.scope.engine import ScopeEngine
 from repro.scope.optimizer.engine import OptimizationResult
 from repro.scope.optimizer.rules.base import RuleCategory
@@ -25,11 +26,27 @@ __all__ = ["SpanComputer"]
 
 
 class SpanComputer:
-    """Computes (and caches, per template) job spans."""
+    """Computes (and caches, per template) job spans.
 
-    def __init__(self, engine: ScopeEngine, max_iterations: int = 6) -> None:
+    The fixpoint rounds are inherently sequential (each round's probe
+    configuration depends on the previous result), but the trailing
+    one-rule-at-a-time probes are independent and fan out through the
+    ``executor``.  The computer itself is coordinator-thread-only: callers
+    invoke :meth:`span_for_template` from the stage's coordinating thread
+    (the internal probe fan-out is where the parallelism lives), so the
+    template cache and the ``recompilations`` counter are unsynchronized
+    by design.
+    """
+
+    def __init__(
+        self,
+        engine: ScopeEngine,
+        max_iterations: int = 6,
+        executor: Executor | None = None,
+    ) -> None:
         self.engine = engine
         self.max_iterations = max_iterations
+        self.executor = executor or SerialExecutor()
         self._cache: dict[str, frozenset[int]] = {}
         #: compilations spent computing spans (cost accounting)
         self.recompilations = 0
@@ -84,14 +101,22 @@ class SpanComputer:
         # hide off-by-default rules from most spans.  Probe each remaining
         # off-by-default rule individually — faithful to the span's
         # *semantics* ("rules which, if flipped, can affect the final plan").
-        for rule_id in sorted(off_by_default - span):
+        # The probes are independent single compilations, so they fan out
+        # through the executor; membership is folded back in rule order.
+        remaining = sorted(off_by_default - span)
+
+        def probe(rule_id: int) -> tuple[bool, bool]:
             config = engine.default_config.with_flip(rule_id)
             try:
                 result = service.compile_script(script, config)
-                self.recompilations += 1
             except ScopeError:
-                span.add(rule_id)  # flipping it breaks compilation: it matters
-                continue
-            if rule_id in result.signature.non_required_ids(registry):
-                span.add(rule_id)
+                # flipping it breaks compilation: it matters
+                return True, False
+            return rule_id in result.signature.non_required_ids(registry), True
+
+        probed = self.executor.map_jobs(probe, remaining)
+        self.recompilations += sum(1 for _, compiled_ok in probed if compiled_ok)
+        span.update(
+            rule_id for rule_id, (member, _) in zip(remaining, probed) if member
+        )
         return frozenset(span)

@@ -19,6 +19,7 @@ import heapq
 from repro.config import FlightingConfig
 from repro.errors import OptimizationError, ScopeError
 from repro.flighting.results import FlightRequest, FlightResult, FlightStatus
+from repro.parallel import Executor, SerialExecutor
 from repro.rng import keyed_rng
 from repro.scope.cache import CompileRequest
 from repro.scope.engine import ScopeEngine
@@ -29,18 +30,38 @@ __all__ = ["FlightingService"]
 
 
 class FlightingService:
-    """Pre-production A/B (and A/A) testing against a ScopeEngine."""
+    """Pre-production A/B (and A/A) testing against a ScopeEngine.
 
-    def __init__(self, engine: ScopeEngine, config: FlightingConfig | None = None) -> None:
+    Individual flights are independent A/B pairs, so :meth:`run_queue`
+    executes them in parallel waves through the ``executor`` while keeping
+    the budget accounting (and all run keys) deterministic.
+    """
+
+    def __init__(
+        self,
+        engine: ScopeEngine,
+        config: FlightingConfig | None = None,
+        executor: Executor | None = None,
+    ) -> None:
         self.engine = engine
         self.config = config or FlightingConfig()
+        self.executor = executor or SerialExecutor()
         self._flight_counter = 0
 
     # -- single flights ------------------------------------------------------
 
-    def flight(self, request: FlightRequest, day: int) -> FlightResult:
-        """Run one A/B test: default configuration vs. the requested flip."""
-        self._flight_counter += 1
+    def flight(
+        self, request: FlightRequest, day: int, flight_id: int | None = None
+    ) -> FlightResult:
+        """Run one A/B test: default configuration vs. the requested flip.
+
+        ``flight_id`` seeds the run keys; when None (standalone use) it is
+        drawn from the service counter.  :meth:`run_queue` pre-assigns ids
+        in queue order so concurrent flights stay deterministic.
+        """
+        if flight_id is None:
+            self._flight_counter += 1
+            flight_id = self._flight_counter
         job = request.job
         gate_rng = keyed_rng(self.engine.config.seed, "flight-gate", job.job_id, day)
         if gate_rng.random() < self.config.filtered_prob:
@@ -60,10 +81,10 @@ class FlightingService:
             return FlightResult(request, FlightStatus.FAILURE, day=day)
         baseline_result, treatment_result = compiled
         baseline = self.engine.execute(
-            baseline_result, ("flight-a", job.job_id, day, self._flight_counter)
+            baseline_result, ("flight-a", job.job_id, day, flight_id)
         )
         treatment = self.engine.execute(
-            treatment_result, ("flight-b", job.job_id, day, self._flight_counter)
+            treatment_result, ("flight-b", job.job_id, day, flight_id)
         )
         flight_seconds = baseline.latency_s + treatment.latency_s
         status = FlightStatus.SUCCESS
@@ -82,12 +103,15 @@ class FlightingService:
         """A/A testing: execute the default plan ``runs`` times (§5.1).
 
         The single compilation goes through the shared plan cache, so A/A
-        batteries after a production run never re-optimize.
+        batteries after a production run never re-optimize.  The runs are
+        keyed by their index, so they execute in parallel and come back in
+        order.
         """
         result = self.engine.compilation.compile_job(job, use_hints=False)
-        return [
-            self.engine.execute(result, ("aa", job.job_id, day, i)) for i in range(runs)
-        ]
+        return self.executor.map_jobs(
+            lambda i: self.engine.execute(result, ("aa", job.job_id, day, i)),
+            range(runs),
+        )
 
     # -- budgeted queue ---------------------------------------------------------
 
@@ -96,8 +120,13 @@ class FlightingService:
 
         Requests are served in ascending ``est_cost_delta`` order (most
         promising first, §4.3).  The queue admits ``queue_size`` concurrent
-        flights; simulated wall-clock advances as slots free up.  Requests
-        still waiting when the budget expires are returned as NOT_RUN.
+        flights — one *wave* — and each wave's A/B pairs execute in
+        parallel through the executor.  Budget admission is checked as the
+        queue refills: a wave is admitted only while the simulated clock
+        (the earliest slot about to free up) is still inside the machine
+        budget, and everything after the cutoff is returned NOT_RUN.  Wave
+        membership and flight ids depend only on queue order, never on
+        thread timing, so results are identical at any worker count.
         """
         ordered = sorted(requests, key=lambda r: (r.est_cost_delta, r.job.job_id))
         results: list[FlightResult] = []
@@ -105,16 +134,30 @@ class FlightingService:
         slots: list[float] = []
         clock = 0.0
         budget = self.config.total_budget_s
-        for request in ordered:
-            if len(slots) >= self.config.queue_size:
-                clock = heapq.heappop(slots)
-            if clock >= budget:
-                results.append(FlightResult(request, FlightStatus.NOT_RUN, day=day))
-                continue
-            result = self.flight(request, day)
-            duration = result.flight_seconds
-            if result.status is FlightStatus.TIMEOUT:
-                duration = min(duration, self.config.per_job_timeout_s)
-            heapq.heappush(slots, clock + max(1.0, duration))
-            results.append(result)
+        wave_size = max(1, self.config.queue_size)
+        for start in range(0, len(ordered), wave_size):
+            # the clock the wave's first request would be admitted at: the
+            # earliest finish among busy slots once the queue is full
+            admission_clock = slots[0] if len(slots) >= wave_size else clock
+            if admission_clock >= budget:
+                results.extend(
+                    FlightResult(request, FlightStatus.NOT_RUN, day=day)
+                    for request in ordered[start:]
+                )
+                break
+            wave = ordered[start : start + wave_size]
+            first_id = self._flight_counter + 1
+            self._flight_counter += len(wave)
+            flown = self.executor.map_jobs(
+                lambda pair: self.flight(pair[0], day, flight_id=pair[1]),
+                zip(wave, range(first_id, first_id + len(wave))),
+            )
+            for result in flown:
+                if len(slots) >= wave_size:
+                    clock = heapq.heappop(slots)
+                duration = result.flight_seconds
+                if result.status is FlightStatus.TIMEOUT:
+                    duration = min(duration, self.config.per_job_timeout_s)
+                heapq.heappush(slots, clock + max(1.0, duration))
+                results.append(result)
         return results

@@ -22,13 +22,29 @@ Three pieces live here:
   through to parse/bind/optimize on a miss.  Its :meth:`compile_many`
   batch API additionally deduplicates identical requests *before*
   compiling, so batching wins survive even with the cache disabled.
+
+The service is **thread-safe**: the job-parallel executor
+(:mod:`repro.parallel`) compiles from many worker threads at once, all
+sharing this one cache.  A single lock guards LRU mutation and the stats
+counters, and concurrent misses on the *same* key are deduplicated — one
+leader runs the optimizer while the other threads wait for its entry and
+count as hits, exactly the accounting a serial schedule would produce.
+Plans are optimized outside the lock, so distinct keys overlap freely.
+
+One caveat bounds the byte-identical contract: LRU *recency* order under
+concurrent hits follows lock-acquisition order, so eviction victims are
+only schedule-independent while a day's working set fits in
+``CacheConfig.capacity`` (evictions = 0, the normal regime — the default
+capacity of 4096 covers every shipped workload tier).  Size the capacity
+to the workload before relying on cross-worker-count trace equality.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
 from repro.config import CacheConfig
@@ -36,6 +52,7 @@ from repro.errors import ScopeError
 from repro.scope.optimizer.rules.base import RuleConfiguration, RuleFlip
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import Executor
     from repro.scope.compile import CompiledScript
     from repro.scope.engine import ScopeEngine
     from repro.scope.jobs import JobInstance
@@ -148,6 +165,19 @@ class PlanCache:
         self._entries.clear()
 
 
+@dataclass
+class _InFlightCompile:
+    """A miss currently being compiled by a leader thread.
+
+    Concurrent requests for the same key park on ``done`` instead of
+    running the optimizer again; the leader publishes its entry before
+    setting the event.
+    """
+
+    done: threading.Event = field(default_factory=threading.Event)
+    entry: _CacheEntry | None = None
+
+
 @dataclass(frozen=True)
 class CompileRequest:
     """One unit of work for :meth:`CompilationService.compile_many`."""
@@ -169,8 +199,12 @@ class CompilationService:
         # every probe/flip configuration it is optimized under.  This memo
         # stays active even with the plan cache disabled — ``enabled`` is the
         # plan-memoization ablation knob, and binding is deterministic.
-        self._scripts: "OrderedDict[bytes, CompiledScript]" = OrderedDict()
+        self._scripts: "OrderedDict[tuple, CompiledScript]" = OrderedDict()
         self._catalog_version = engine.catalog.version
+        # one lock guards LRU mutation, the stats counters, the script memo
+        # and the in-flight table; optimization itself runs outside it
+        self._lock = threading.RLock()
+        self._in_flight: dict[tuple, _InFlightCompile] = {}
 
     @property
     def enabled(self) -> bool:
@@ -224,7 +258,9 @@ class CompilationService:
             self._scripts.clear()
 
     def compile_many(
-        self, requests: Iterable[CompileRequest]
+        self,
+        requests: Iterable[CompileRequest],
+        executor: "Executor | None" = None,
     ) -> "list[OptimizationResult | ScopeError]":
         """Batch compile, deduplicating identical (script, config) requests.
 
@@ -232,6 +268,8 @@ class CompilationService:
         exception instance instead of raising, so one bad request cannot
         abort the batch.  Duplicates are folded before any compilation
         happens — the dedup win holds even when the cache is disabled.
+        With an ``executor``, the deduplicated unique requests compile in
+        parallel (first-appearance order is preserved in the accounting).
         """
         resolved = [
             (request.job.script,
@@ -240,21 +278,34 @@ class CompilationService:
              ))
             for request in requests
         ]
-        batch: dict[tuple, _CacheEntry] = {}
-        results: "list[OptimizationResult | ScopeError]" = []
-        for script, config in resolved:
-            key = self._key_for(script, config)
-            if key in batch:
-                self.stats.dedup_hits += 1
+        keys = [self._key_for(script, config) for script, config in resolved]
+        unique: dict[tuple, tuple[str, RuleConfiguration]] = {}
+        duplicates = 0
+        for key, work in zip(keys, resolved):
+            if key in unique:
+                duplicates += 1
             else:
-                batch[key] = self._lookup_or_compile(script, config)
-            entry = batch[key]
-            results.append(entry.error if entry.error is not None else entry.result)
-        return results
+                unique[key] = work
+        if duplicates:
+            with self._lock:
+                self.stats.dedup_hits += duplicates
+        ordered = list(unique)
+        if executor is None or len(ordered) <= 1:
+            entries = [self._lookup_or_compile(*unique[key]) for key in ordered]
+        else:
+            entries = executor.map_jobs(
+                lambda key: self._lookup_or_compile(*unique[key]), ordered
+            )
+        by_key = dict(zip(ordered, entries))
+        return [
+            entry.error if entry.error is not None else entry.result
+            for entry in (by_key[key] for key in keys)
+        ]
 
     def invalidate(self) -> None:
         """Drop every cached plan (called by SIS when hints change)."""
-        self.cache.bump_generation()
+        with self._lock:
+            self.cache.bump_generation()
 
     # -- internals -------------------------------------------------------------
 
@@ -262,19 +313,52 @@ class CompilationService:
         self, script: str, config: RuleConfiguration
     ) -> _CacheEntry:
         if not self.config.enabled:
+            # the ablation contract is "every compile re-optimizes", so
+            # concurrent identical requests are deliberately NOT coalesced —
+            # optimizer_invocations must match the serial schedule
             return self._compile(script, config)
-        self._sync_catalog_version()
-        key = self._key_for(script, config)
-        entry = self.cache.get(key)
-        if entry is None:
+        while True:
+            with self._lock:
+                self._sync_catalog_version()
+                key = self._key_for(script, config)
+                entry = self.cache.get(key)
+                if entry is not None:
+                    return entry
+                flight = self._in_flight.get(key)
+                if flight is None:
+                    flight = _InFlightCompile()
+                    self._in_flight[key] = flight
+                    break
+                # a sibling thread is already compiling this key; a serial
+                # schedule would have served this lookup from the cache, so
+                # the recorded miss is re-classified as a hit
+                self.stats.misses -= 1
+                self.stats.hits += 1
+            flight.done.wait()
+            if flight.entry is not None:
+                return flight.entry
+            # the leader died on a non-deterministic error: retry as leader
+        try:
             entry = self._compile(script, config)
+        except BaseException:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            flight.done.set()
+            raise
+        with self._lock:
             self.cache.put(key, entry)
+            self._in_flight.pop(key, None)
+        flight.entry = entry
+        flight.done.set()
         return entry
 
     def _compile(self, script: str, config: RuleConfiguration) -> _CacheEntry:
-        self.stats.optimizer_invocations += 1
+        with self._lock:
+            self.stats.optimizer_invocations += 1
         try:
             compiled = self._compiled_script(script)
+            # the expensive part — cascades search — runs outside the lock,
+            # so distinct keys optimize concurrently
             result = self.engine.optimize(compiled, config)
         except ScopeError as exc:
             return _CacheEntry(error=exc)
@@ -285,19 +369,22 @@ class CompilationService:
 
         Active regardless of ``enabled``: the ablation knob measures plan
         memoization, and the seed code already shared one parse across every
-        span-probe configuration.
+        span-probe configuration.  Runs fully under the service lock —
+        parsing is cheap next to optimization, and serializing it keeps the
+        memo, its LRU order and ``script_compilations`` race-free.
         """
-        self._sync_catalog_version()
-        # binding captures TableDef objects (row counts) into Get operators,
-        # so the parse/bind memo is catalog-versioned too
-        key = (PlanCache.script_hash(script), self.engine.catalog.version)
-        compiled = self._scripts.get(key)
-        if compiled is None:
-            self.stats.script_compilations += 1
-            compiled = self.engine.compile(script)
-            self._scripts[key] = compiled
-            while len(self._scripts) > self.config.script_capacity:
-                self._scripts.popitem(last=False)
-        else:
-            self._scripts.move_to_end(key)
-        return compiled
+        with self._lock:
+            self._sync_catalog_version()
+            # binding captures TableDef objects (row counts) into Get
+            # operators, so the parse/bind memo is catalog-versioned too
+            key = (PlanCache.script_hash(script), self.engine.catalog.version)
+            compiled = self._scripts.get(key)
+            if compiled is None:
+                self.stats.script_compilations += 1
+                compiled = self.engine.compile(script)
+                self._scripts[key] = compiled
+                while len(self._scripts) > self.config.script_capacity:
+                    self._scripts.popitem(last=False)
+            else:
+                self._scripts.move_to_end(key)
+            return compiled

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import SimulationConfig
-from repro.rng import keyed_rng
+from repro.rng import keyed_rng, stable_hash
 from repro.scope.catalog import Catalog
 from repro.scope.jobs import JobInstance, JobTemplate
 from repro.scope.optimizer.rules.base import RuleFlip, RuleRegistry
@@ -66,8 +66,11 @@ class Workload:
         hintable = self.registry.ids_in_category(RuleCategory.OFF_BY_DEFAULT)
         jobs: list[JobInstance] = []
         for template in self.templates:
-            if not template.recurring and day % 7 != hash(template.template_id) % 7:
-                continue  # one-off templates appear sporadically
+            # one-off templates appear sporadically; stable_hash (not the
+            # per-process-salted builtin) keeps the schedule reproducible
+            # across processes without pinning PYTHONHASHSEED
+            if not template.recurring and day % 7 != stable_hash(template.template_id) % 7:
+                continue
             instances = 1 + int(rng.random() < 0.15)  # some templates submit twice
             for attempt in range(instances):
                 job_id = f"{template.template_id}-d{day:03d}-{attempt}"
