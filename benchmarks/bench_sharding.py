@@ -1,0 +1,149 @@
+"""Sharded multi-cluster scale-out: identical decisions, fleet topology.
+
+The production QO-Advisor steers many SCOPE clusters from one deployment:
+hints flow through one SIS, compilation and flighting happen per cluster.
+This bench runs the same bootstrap + multi-day simulation under three
+topologies — single shard serial, single shard threaded, and a 3-shard
+cluster with 4 workers — and locks the scale-out contract:
+
+* **byte-identity**: every ``DayReport.fingerprint()`` (and the aggregate
+  cache accounting) is identical across topologies — which shard a
+  template lands on never shows in the trace;
+* **isolation**: per-shard plan caches partition the working set (each
+  shard compiles only its own templates; the per-shard optimizer
+  invocations sum to the single-shard count);
+* **process scale-out**: the fork-based :class:`ProcessExecutor` produces
+  the same results as the serial loop for a pure compile sweep, the
+  state-free fan-out shape it exists for (speedup is recorded, and only
+  asserted on multi-core hosts — the CI container may be single-core).
+"""
+
+import dataclasses
+import os
+import time
+
+from repro import ProcessExecutor, QOAdvisor, SerialExecutor, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import (
+    ExecutionConfig,
+    FlightingConfig,
+    ShardingConfig,
+    WorkloadConfig,
+)
+from repro.scope.cache import CacheStats
+
+from benchmarks.conftest import record
+
+
+def _run_topology(workers: int, shards: int):
+    config = dataclasses.replace(
+        SimulationConfig(seed=20220613),
+        workload=WorkloadConfig(num_templates=14, num_tables=10),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        execution=ExecutionConfig(workers=workers, backend="thread"),
+        sharding=ShardingConfig(shards=shards),
+    )
+    advisor = QOAdvisor(config)
+    advisor.pipeline.bootstrap_validation_model(start_day=0, days=4, flights_per_day=8)
+    start = time.perf_counter()
+    reports = advisor.simulate(start_day=4, days=3, learned_after=1)
+    elapsed = time.perf_counter() - start
+    return advisor, reports, elapsed
+
+
+def test_sharded_cluster_identical_and_partitioned(benchmark):
+    serial_advisor, serial_reports, serial_elapsed = _run_topology(1, 1)
+    sharded_advisor, sharded_reports, sharded_elapsed = _run_topology(4, 3)
+
+    # determinism: the sharded fleet reproduces the single-shard trace
+    fingerprints_match = [r.fingerprint() for r in serial_reports] == [
+        r.fingerprint() for r in sharded_reports
+    ]
+    assert fingerprints_match
+    serial_stats = serial_advisor.engine.compilation.stats
+    sharded_stats = sharded_advisor.engine.compilation.stats
+    assert serial_stats == sharded_stats
+
+    # isolation: every shard did real work, and the shard caches partition
+    # the working set (their counters sum to the single cache's)
+    per_shard = sharded_advisor.engine.compilation.per_shard_stats()
+    assert len(per_shard) == 3
+    assert all(stats.optimizer_invocations > 0 for stats in per_shard.values())
+    total = CacheStats()
+    for stats in per_shard.values():
+        total = total + stats
+    assert total == sharded_stats
+
+    # process backend: a state-free compile sweep is identical to serial
+    jobs = sharded_advisor.workload.jobs_for_day(7)
+    engine = serial_advisor.engine
+
+    def sweep_cost(job) -> float:
+        return engine.compile_job_uncached(job, use_hints=False).est_cost
+
+    started = time.perf_counter()
+    serial_costs = SerialExecutor().map_jobs(sweep_cost, jobs)
+    serial_sweep_s = time.perf_counter() - started
+    started = time.perf_counter()
+    forked_costs = ProcessExecutor(4).map_jobs(sweep_cost, jobs)
+    forked_sweep_s = time.perf_counter() - started
+    assert forked_costs == serial_costs
+    sweep_speedup = serial_sweep_s / forked_sweep_s if forked_sweep_s else float("inf")
+    multi_core = (os.cpu_count() or 1) > 1
+
+    record(
+        "sharded multi-cluster — 1 shard serial vs. 3 shards × 4 workers",
+        [
+            ComparisonRow(
+                "DayReport fingerprints",
+                "byte-identical across topologies",
+                "identical" if fingerprints_match else "DIVERGED",
+                holds=fingerprints_match,
+            ),
+            ComparisonRow(
+                "optimizer invocations (single / sharded sum)",
+                "identical",
+                f"{serial_stats.optimizer_invocations}"
+                f" / {sharded_stats.optimizer_invocations}",
+                holds=serial_stats.optimizer_invocations
+                == sharded_stats.optimizer_invocations,
+            ),
+            ComparisonRow(
+                "per-shard invocation split",
+                "all shards active",
+                " + ".join(
+                    str(per_shard[shard].optimizer_invocations)
+                    for shard in sorted(per_shard)
+                ),
+                holds=all(s.optimizer_invocations > 0 for s in per_shard.values()),
+            ),
+            ComparisonRow(
+                "3-day simulate wall clock (single / sharded)",
+                "no sharding regression",
+                f"{serial_elapsed:.2f}s / {sharded_elapsed:.2f}s",
+                holds=sharded_elapsed <= serial_elapsed * 1.5 + 0.5,
+            ),
+            ComparisonRow(
+                "uncached compile sweep (serial / 4 processes)",
+                "identical results, overlaps with cores",
+                f"{serial_sweep_s:.2f}s / {forked_sweep_s:.2f}s "
+                f"({sweep_speedup:.2f}x on {os.cpu_count()} cpu)",
+                holds=sweep_speedup > 1.05 if multi_core else None,
+            ),
+        ],
+    )
+
+    if multi_core:
+        # real cores available: forked processes must beat the GIL
+        assert sweep_speedup > 1.05, (
+            f"expected >1.05x on the process-backend compile sweep, got "
+            f"{sweep_speedup:.2f}x ({serial_sweep_s:.2f}s → {forked_sweep_s:.2f}s)"
+        )
+    assert sharded_elapsed <= serial_elapsed * 1.5 + 0.5
+
+    serial_advisor.close()
+
+    # the hot path: a sharded production-stage fan-out over a fresh day
+    pipeline = sharded_advisor.pipeline
+    benchmark(lambda: pipeline.run_production(9))
+    sharded_advisor.close()

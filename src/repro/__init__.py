@@ -19,27 +19,38 @@ Quickstart::
     print(reports[-1].outcome_counts())
 """
 
-from repro.config import CacheConfig, ExecutionConfig, SimulationConfig
+from repro.config import CacheConfig, ExecutionConfig, ShardingConfig, SimulationConfig
 from repro.core.advisor import QOAdvisor
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
-from repro.parallel import Executor, SerialExecutor, ThreadedExecutor, build_executor
+from repro.parallel import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    build_executor,
+)
 from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
+from repro.sharding import ShardedScopeCluster, ShardRouter
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "QOAdvisor",
     "QOAdvisorPipeline",
     "DayReport",
     "ScopeEngine",
+    "ShardedScopeCluster",
+    "ShardRouter",
+    "ShardingConfig",
     "SimulationConfig",
     "CacheConfig",
     "CacheStats",
     "CompilationService",
     "ExecutionConfig",
     "Executor",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
     "build_executor",

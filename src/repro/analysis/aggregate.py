@@ -109,6 +109,9 @@ def measure_hinted_day(advisor: QOAdvisor, day: int) -> DeploymentResult:
     result = DeploymentResult(active_hints=len(hints))
     jobs = advisor.workload.jobs_for_day(day)
     for job in jobs:
+        # per-job epoch barrier keeps the plan-cache capacity bound live
+        # outside the pipeline's own stage checkpoints
+        engine.compilation.checkpoint()
         flip = hints.get(job.template_id)
         if flip is None:
             continue

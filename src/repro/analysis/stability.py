@@ -86,6 +86,9 @@ def run_stability_study(
     week1_jobs = {j.template_id: j for j in workload.jobs_for_day(week1_day)}
     count = 0
     for template_id in sorted(week0_jobs):
+        # per-template epoch barrier: this serial loop is its own
+        # coordinator, so the plan-cache capacity bound holds here too
+        engine.compilation.checkpoint()
         if max_jobs is not None and count >= max_jobs:
             break
         if template_id not in week1_jobs:

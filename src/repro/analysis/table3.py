@@ -111,6 +111,9 @@ def run_table3_experiment(
     total = 0
     steerable = 0
     for day in eval_days:
+        # per-day epoch barrier keeps the plan-cache capacity bound live
+        # for this standalone serial harness
+        engine.compilation.checkpoint()
         for job in workload.jobs_for_day(day):
             total += 1
             span = spans.span_for_template(job.template_id, job.script)

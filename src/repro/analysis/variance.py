@@ -52,6 +52,9 @@ def run_aa_variance_study(
     """Execute each job ``runs`` times with the default plan."""
     study = AAVarianceStudy(runs_per_job=runs)
     for job in jobs[: max_jobs or len(jobs)]:
+        # per-job epoch barrier keeps the plan-cache capacity bound live
+        # for this standalone serial loop
+        engine.compilation.checkpoint()
         try:
             result = engine.compile_job(job, use_hints=False)
         except ScopeError:

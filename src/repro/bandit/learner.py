@@ -76,7 +76,12 @@ class CBLearner:
         """Copy of the weight table (model versioning support)."""
         return self.weights.copy()
 
-    def restore(self, weights: np.ndarray) -> None:
+    def restore(self, weights: np.ndarray, updates: int | None = None) -> None:
+        """Install a weight snapshot; ``updates`` restores the step counter
+        too (a full-snapshot restore is indistinguishable from the model
+        that was published)."""
         if weights.shape != self.weights.shape:
             raise ValueError("weight snapshot has the wrong shape")
         self.weights = weights.copy()
+        if updates is not None:
+            self.updates = updates

@@ -9,6 +9,7 @@ learnable rule-flip signal.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "AdvisorConfig",
     "CacheConfig",
     "ExecutionConfig",
+    "ShardingConfig",
     "SimulationConfig",
 ]
 
@@ -109,6 +111,12 @@ class BanditConfig:
     interaction_order: int = 3
     #: reward clipping ratio (paper §4.2: clip anything over 2.0)
     reward_clip: float = 2.0
+    #: Personalizer publish cycles (daily in the pipeline) an unrewarded
+    #: rank event survives before it expires with ``expired_event_reward``;
+    #: 0 disables expiry entirely
+    activation_timeout_days: int = 2
+    #: default reward applied to rank events that expire unrewarded
+    expired_event_reward: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -155,6 +163,16 @@ class CacheConfig:
     script_capacity: int = 1024
 
 
+def _default_workers() -> int:
+    """Default worker count; ``REPRO_WORKERS`` lets CI run the whole suite
+    under a parallel executor without touching every test."""
+    return int(os.environ.get("REPRO_WORKERS", "1"))
+
+
+def _default_backend() -> str:
+    return os.environ.get("REPRO_BACKEND", "thread")
+
+
 @dataclass(frozen=True)
 class ExecutionConfig:
     """Parameters of the pipeline's job-parallel executor (``repro.parallel``).
@@ -166,9 +184,28 @@ class ExecutionConfig:
     worker count.
     """
 
-    #: worker threads for per-job stage fan-out; 1 selects the serial
-    #: executor (no thread pool at all)
-    workers: int = 1
+    #: workers for per-job stage fan-out; 1 selects the serial executor
+    #: regardless of backend (overridable via the ``REPRO_WORKERS`` env var,
+    #: which the CI parallel-determinism leg uses)
+    workers: int = field(default_factory=_default_workers)
+    #: "thread" (shared-memory fan-out; required for the daily pipeline,
+    #: whose per-job closures share the plan cache) or "process" (fork-based
+    #: multi-core fan-out for state-free job functions)
+    backend: str = field(default_factory=_default_backend)
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Parameters of the sharded multi-cluster layer (``repro.sharding``).
+
+    With ``shards > 1`` the advisor runs a :class:`ShardedScopeCluster`:
+    jobs are routed to one of N :class:`ScopeEngine` shards by a stable
+    hash of their template id, each shard owning its own plan cache and
+    catalog replica, while one SIS deployment stays the shared hint store.
+    """
+
+    #: number of ScopeEngine shards; 1 keeps the single-engine layout
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -184,6 +221,7 @@ class SimulationConfig:
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy of this config with a different experiment seed."""

@@ -22,6 +22,7 @@ from repro.parallel import Executor, build_executor
 from repro.personalizer.service import PersonalizerService
 from repro.scope.engine import ScopeEngine
 from repro.scope.optimizer.rules.base import default_registry
+from repro.sharding import ShardedScopeCluster
 from repro.sis.service import SISService
 from repro.workload.generator import Workload, build_workload
 
@@ -43,8 +44,17 @@ class QOAdvisor:
         if self.workload is None:
             self.workload = build_workload(self.config, self.registry)
         if self.executor is None:
-            self.executor = build_executor(self.config.execution)
-        self.engine = ScopeEngine(self.workload.catalog, self.config, self.registry)
+            # shared_state: the pipeline's per-job closures mutate the plan
+            # caches and stats counters, so the process backend is refused
+            self.executor = build_executor(self.config.execution, shared_state=True)
+        if self.config.sharding.shards > 1:
+            # the multi-cluster deployment: per-shard engines/plan caches
+            # behind the single-engine facade, one shared SIS hint store
+            self.engine = ShardedScopeCluster(
+                self.workload, self.config, self.registry
+            )
+        else:
+            self.engine = ScopeEngine(self.workload.catalog, self.config, self.registry)
         self.sis = SISService(self.registry)
         self.personalizer = PersonalizerService(
             self.config.bandit, seed=self.config.seed, mode="uniform_logging"
@@ -66,15 +76,20 @@ class QOAdvisor:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor's worker threads (idempotent).
+        """Release the executor's worker threads and detach any shard
+        catalog replicas from the workload (idempotent).
 
         Thread-pool workers only exit at shutdown, so sweeps constructing
         many advisors should close each one (or use the advisor as a
         context manager).  A closed executor lazily re-creates its pool if
-        the advisor is used again.
+        the advisor is used again, but a closed *sharded* advisor must not
+        be driven onto new days — its catalog replicas no longer sync.
         """
         if self.executor is not None:
             self.executor.close()
+        engine_close = getattr(self.engine, "close", None)
+        if engine_close is not None:
+            engine_close()
 
     def __enter__(self) -> "QOAdvisor":
         return self

@@ -92,8 +92,14 @@ class DayReport:
     hint_version: int | None = None
     active_hint_count: int = 0
     #: this day's plan-cache activity (delta of the engine's cumulative
-    #: counters across the run_day call); None for hand-built reports
+    #: counters across the run_day call, summed over shards when the engine
+    #: is a sharded cluster); None for hand-built reports
     cache_stats: CacheStats | None = None
+    #: per-shard cache/compile deltas for the day, keyed by shard index;
+    #: a single engine reports one shard 0 entry.  Topology-dependent by
+    #: nature, so excluded from :meth:`fingerprint` (the aggregate
+    #: ``cache_stats`` is the cross-topology contract)
+    shard_cache_stats: dict[int, CacheStats] | None = None
     #: wall-clock seconds per pipeline stage; stages that did not run on
     #: this day (e.g. validation before the model is fitted) report 0.0
     stage_timings: dict[str, float] = field(default_factory=dict)
@@ -114,9 +120,11 @@ class DayReport:
         """Digest of every decision the day produced, minus wall-clock.
 
         Two runs of the same configured day must produce the same
-        fingerprint at any executor worker count — this is the determinism
-        contract the parallel backbone is tested against.  Stage timings
-        (the only wall-clock-dependent field) are excluded.
+        fingerprint at any executor worker count **and any shard count** —
+        this is the determinism contract the parallel backbone and the
+        sharded cluster are tested against.  Stage timings (wall-clock)
+        and per-shard stat breakdowns (topology-shaped, though their sum
+        is covered via ``cache_stats``) are excluded.
         """
         hasher = hashlib.blake2b(digest_size=16)
 
@@ -313,7 +321,11 @@ class QOAdvisorPipeline:
         self.personalizer = personalizer
         self.flighting = flighting
         self.config = config or engine.config
-        self.executor = executor or build_executor(self.config.execution)
+        # shared_state: stage closures mutate the engine's plan caches and
+        # stats counters, so the process backend is refused here too
+        self.executor = executor or build_executor(
+            self.config.execution, shared_state=True
+        )
         self.spans = SpanComputer(engine, executor=self.executor)
         self.feature_task = FeatureGenerationTask(self.spans)
         self.recommend_task = RecommendationTask(personalizer, engine.registry)
@@ -411,6 +423,8 @@ class QOAdvisorPipeline:
                 for request in self.executor.map_jobs(candidate, batch):
                     if request is not None and len(requests) < flights_per_day:
                         requests.append(request)
+            # run_queue ends with the day's epoch barrier (it checkpoints
+            # after draining), covering the span/candidate compiles above
             corpus.extend(self.flighting.run_queue(requests, day))
         midpoint = start_day + days // 2
         train = [r for r in corpus if r.day < midpoint]
@@ -446,19 +460,34 @@ class QOAdvisorPipeline:
 
     # -- the daily loop ----------------------------------------------------------
 
+    def _per_shard_stats(self) -> dict[int, CacheStats]:
+        """Cumulative per-shard counters ({0: stats} for a single engine)."""
+        breakdown = getattr(self.engine.compilation, "per_shard_stats", None)
+        if breakdown is not None:
+            return breakdown()
+        return {0: self.engine.compilation.stats.snapshot()}
+
     def run_day(self, day: int) -> DayReport:
         cache_before = self.engine.compilation.stats.snapshot()
+        shards_before = self._per_shard_stats()
         report = DayReport(day=day)
         report.stage_timings = {name: 0.0 for name in STAGE_NAMES}
         ctx = StageContext(day=day, report=report)
         for stage in self.stages:
-            if not stage.should_run(ctx):
-                continue
-            started = time.perf_counter()
-            stage.run(ctx)
-            report.stage_timings[stage.name] = time.perf_counter() - started
+            if stage.should_run(ctx):
+                started = time.perf_counter()
+                stage.run(ctx)
+                report.stage_timings[stage.name] = time.perf_counter() - started
+            # the epoch barrier that makes cache eviction (and with it the
+            # whole hit/miss accounting) schedule-independent: capacity is
+            # enforced here, from the coordinating thread, never mid-stage
+            self.engine.compilation.checkpoint()
         report.active_hint_count = len(self.sis.active_hints())
         report.cache_stats = self.engine.compilation.stats - cache_before
+        report.shard_cache_stats = {
+            shard: stats - shards_before.get(shard, CacheStats())
+            for shard, stats in self._per_shard_stats().items()
+        }
         self.personalizer.publish_version()
         return report
 

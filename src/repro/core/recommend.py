@@ -95,6 +95,9 @@ def train_off_policy(
             else:
                 reward = min(run_result.est_cost / cost, reward_clip)
             personalizer.reward(response.event_id, reward)
+        # per-day epoch barrier: plan-cache capacity is enforced here, from
+        # the coordinating thread, like the pipeline does per stage
+        engine.compilation.checkpoint()
     return events
 
 

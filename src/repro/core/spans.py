@@ -36,6 +36,11 @@ class SpanComputer:
     (the internal probe fan-out is where the parallelism lives), so the
     template cache and the ``recompilations`` counter are unsynchronized
     by design.
+
+    ``engine`` may be a single :class:`ScopeEngine` or a
+    :class:`~repro.sharding.ShardedScopeCluster`: probes resolve through
+    ``engine_for_template``, so a template's span compilations land on the
+    shard (and in the plan cache) its production compiles use.
     """
 
     def __init__(
@@ -54,20 +59,26 @@ class SpanComputer:
     def span_for_template(self, template_id: str, script: str) -> frozenset[int]:
         """Span of a template (cached: instances share operator shape)."""
         if template_id not in self._cache:
-            self._cache[template_id] = self.compute(script)
+            self._cache[template_id] = self.compute(
+                script, engine=self.engine.engine_for_template(template_id)
+            )
         return self._cache[template_id]
 
     def compute(
-        self, script: str, default_result: OptimizationResult | None = None
+        self,
+        script: str,
+        default_result: OptimizationResult | None = None,
+        engine: ScopeEngine | None = None,
     ) -> frozenset[int]:
         """Run the fixpoint span heuristic on one script.
 
-        Every probe goes through the engine's compilation service: the
+        Every probe goes through ``engine``'s compilation service (the
+        owning shard when routed through :meth:`span_for_template`): the
         parsed script is shared across probe configurations, and the
         default-configuration compile lands in the same plan cache the
         Recompilation task reads the default cost from.
         """
-        engine = self.engine
+        engine = engine if engine is not None else self.engine
         registry = engine.registry
         service = engine.compilation
         try:

@@ -15,6 +15,7 @@ operational constraints:
 from __future__ import annotations
 
 import heapq
+import threading
 
 from repro.config import FlightingConfig
 from repro.errors import OptimizationError, ScopeError
@@ -47,6 +48,16 @@ class FlightingService:
         self.config = config or FlightingConfig()
         self.executor = executor or SerialExecutor()
         self._flight_counter = 0
+        # standalone flight() calls may come from arbitrary threads; the
+        # counter is the only shared mutable state they touch
+        self._counter_lock = threading.Lock()
+
+    def _reserve_flight_ids(self, count: int) -> int:
+        """Atomically claim ``count`` consecutive ids; returns the first."""
+        with self._counter_lock:
+            first = self._flight_counter + 1
+            self._flight_counter += count
+            return first
 
     # -- single flights ------------------------------------------------------
 
@@ -60,8 +71,7 @@ class FlightingService:
         in queue order so concurrent flights stay deterministic.
         """
         if flight_id is None:
-            self._flight_counter += 1
-            flight_id = self._flight_counter
+            flight_id = self._reserve_flight_ids(1)
         job = request.job
         gate_rng = keyed_rng(self.engine.config.seed, "flight-gate", job.job_id, day)
         if gate_rng.random() < self.config.filtered_prob:
@@ -90,6 +100,13 @@ class FlightingService:
         status = FlightStatus.SUCCESS
         if max(baseline.latency_s, treatment.latency_s) > self.config.per_job_timeout_s:
             status = FlightStatus.TIMEOUT
+            # each arm is killed at the limit, so the machine time the
+            # flight consumed is capped per run in the result itself —
+            # every consumer (budget admission, analysis, reports) sees
+            # the same number
+            flight_seconds = min(
+                baseline.latency_s, self.config.per_job_timeout_s
+            ) + min(treatment.latency_s, self.config.per_job_timeout_s)
         return FlightResult(
             request,
             status,
@@ -146,8 +163,7 @@ class FlightingService:
                 )
                 break
             wave = ordered[start : start + wave_size]
-            first_id = self._flight_counter + 1
-            self._flight_counter += len(wave)
+            first_id = self._reserve_flight_ids(len(wave))
             flown = self.executor.map_jobs(
                 lambda pair: self.flight(pair[0], day, flight_id=pair[1]),
                 zip(wave, range(first_id, first_id + len(wave))),
@@ -155,9 +171,11 @@ class FlightingService:
             for result in flown:
                 if len(slots) >= wave_size:
                     clock = heapq.heappop(slots)
-                duration = result.flight_seconds
-                if result.status is FlightStatus.TIMEOUT:
-                    duration = min(duration, self.config.per_job_timeout_s)
-                heapq.heappush(slots, clock + max(1.0, duration))
+                # flight_seconds is already timeout-capped (per arm) in the
+                # result, so budget admission and downstream consumers agree
+                heapq.heappush(slots, clock + max(1.0, result.flight_seconds))
                 results.append(result)
+        # epoch barrier: the queue is drained, no compiles in flight — keeps
+        # the plan-cache capacity bound live for standalone service use too
+        self.engine.compilation.checkpoint()
         return results

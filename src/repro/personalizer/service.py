@@ -50,6 +50,8 @@ class _PendingEvent:
     actions: tuple[ActionFeatures, ...]
     chosen: int
     probability: float
+    #: publish-cycle tick the event was ranked in (activation timeout base)
+    born_tick: int = 0
 
 
 @dataclass
@@ -87,6 +89,10 @@ class PersonalizerService:
         self.event_log: list[LoggedEvent] = []
         self.versions: list[_ModelVersion] = []
         self._event_counter = 0
+        #: publish cycles elapsed (the activation-timeout clock)
+        self._tick = 0
+        #: events expired unrewarded so far (observability)
+        self.expired_events = 0
 
     # -- rank / reward ---------------------------------------------------------
 
@@ -103,6 +109,7 @@ class PersonalizerService:
             actions=tuple(actions),
             chosen=ranked.index,
             probability=ranked.probability,
+            born_tick=self._tick,
         )
         return RankResponse(
             event_id=event_id,
@@ -112,11 +119,8 @@ class PersonalizerService:
             model_version=len(self.versions),
         )
 
-    def reward(self, event_id: str, value: float) -> None:
-        """Report the reward for a ranked event; the model learns online."""
-        pending = self._pending.pop(event_id, None)
-        if pending is None:
-            raise PersonalizerError(f"unknown or already-rewarded event {event_id!r}")
+    def _finalize(self, pending: _PendingEvent, value: float) -> None:
+        """Log the event and feed the learner (shared by reward and expiry)."""
         self.event_log.append(
             LoggedEvent(
                 context=pending.context,
@@ -133,6 +137,36 @@ class PersonalizerService:
             pending.probability,
         )
 
+    def reward(self, event_id: str, value: float) -> None:
+        """Report the reward for a ranked event; the model learns online."""
+        pending = self._pending.pop(event_id, None)
+        if pending is None:
+            raise PersonalizerError(f"unknown or already-rewarded event {event_id!r}")
+        self._finalize(pending, value)
+
+    def expire_pending(self) -> int:
+        """Expire pending events older than the activation timeout.
+
+        Mirrors the Azure Personalizer reward-wait window: an event whose
+        reward never arrives is finalized with ``expired_event_reward``
+        after ``activation_timeout_days`` publish cycles instead of leaking
+        forever.  Events expire in rank order (insertion order of the
+        pending map), so the learner sees a deterministic update sequence.
+        Returns the number of events expired.
+        """
+        timeout = self.config.activation_timeout_days
+        if timeout <= 0:
+            return 0
+        stale = [
+            event_id
+            for event_id, pending in self._pending.items()
+            if self._tick - pending.born_tick >= timeout
+        ]
+        for event_id in stale:
+            self._finalize(self._pending.pop(event_id), self.config.expired_event_reward)
+        self.expired_events += len(stale)
+        return len(stale)
+
     @property
     def pending_events(self) -> int:
         return len(self._pending)
@@ -140,7 +174,14 @@ class PersonalizerService:
     # -- model management ---------------------------------------------------------
 
     def publish_version(self) -> int:
-        """Snapshot the current model (daily pipeline checkpoint)."""
+        """Snapshot the current model (daily pipeline checkpoint).
+
+        Also advances the activation-timeout clock and expires overdue
+        unrewarded events first, so their default-reward updates are part
+        of the snapshot they age out under.
+        """
+        self._tick += 1
+        self.expire_pending()
         self.versions.append(
             _ModelVersion(
                 version=len(self.versions) + 1,
@@ -151,9 +192,12 @@ class PersonalizerService:
         return len(self.versions)
 
     def restore_version(self, version: int) -> None:
+        """Roll the learner back to a published snapshot — the full snapshot:
+        weights *and* the ``updates`` counter, so a restored model is
+        indistinguishable from the one that was published."""
         for model in self.versions:
             if model.version == version:
-                self.learner.restore(model.weights)
+                self.learner.restore(model.weights, updates=model.updates)
                 return
         raise PersonalizerError(f"unknown model version {version}")
 

@@ -25,25 +25,29 @@ Three pieces live here:
 
 The service is **thread-safe**: the job-parallel executor
 (:mod:`repro.parallel`) compiles from many worker threads at once, all
-sharing this one cache.  A single lock guards LRU mutation and the stats
+sharing this one cache.  A single lock guards cache mutation and the stats
 counters, and concurrent misses on the *same* key are deduplicated — one
 leader runs the optimizer while the other threads wait for its entry and
 count as hits, exactly the accounting a serial schedule would produce.
 Plans are optimized outside the lock, so distinct keys overlap freely.
 
-One caveat bounds the byte-identical contract: LRU *recency* order under
-concurrent hits follows lock-acquisition order, so eviction victims are
-only schedule-independent while a day's working set fits in
-``CacheConfig.capacity`` (evictions = 0, the normal regime — the default
-capacity of 4096 covers every shipped workload tier).  Size the capacity
-to the workload before relying on cross-worker-count trace equality.
+Eviction is **deterministic at any worker count**.  Recency is tracked at
+*epoch* granularity instead of per access: every hit or insert stamps the
+entry with the current epoch, and capacity is enforced only at explicit
+:meth:`CompilationService.checkpoint` barriers (the pipeline calls one
+after every stage and every bootstrap day, always from the coordinating
+thread).  Within an epoch the resident set only grows, so whether a lookup
+hits depends solely on *which* keys were requested — never on the order
+worker threads got the lock — and the checkpoint evicts by
+``(last_epoch, key)``, a schedule-independent total order.  The cache may
+transiently exceed ``capacity`` by one epoch's distinct-key count; the
+steady-state bound holds at every barrier.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable
 
@@ -104,6 +108,18 @@ class CacheStats:
             dedup_hits=self.dedup_hits - other.dedup_hits,
         )
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate counters (per-shard stats sum to the cluster view)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+            optimizer_invocations=self.optimizer_invocations + other.optimizer_invocations,
+            script_compilations=self.script_compilations + other.script_compilations,
+            dedup_hits=self.dedup_hits + other.dedup_hits,
+        )
+
 
 @dataclass
 class _CacheEntry:
@@ -116,10 +132,20 @@ class _CacheEntry:
 
     result: "OptimizationResult | None" = None
     error: ScopeError | None = None
+    #: epoch of the last hit or insert (recency at barrier granularity)
+    last_epoch: int = 0
 
 
 class PlanCache:
-    """Bounded LRU plan cache keyed by script hash × configuration bits."""
+    """Bounded plan cache keyed by script hash × configuration bits.
+
+    Recency is epoch-granular: hits and inserts stamp the current epoch,
+    and :meth:`checkpoint` — called from a single coordinating thread at
+    deterministic points — evicts down to ``capacity`` in ``(last_epoch,
+    key)`` order, then advances the epoch.  Within an epoch the resident
+    set only grows, so hit/miss accounting and eviction victims are
+    independent of the order concurrent threads touch the cache.
+    """
 
     def __init__(self, capacity: int, stats: CacheStats | None = None) -> None:
         if capacity <= 0:
@@ -130,7 +156,9 @@ class PlanCache:
         #: mutation); all resident entries are dropped at each bump so a
         #: stale plan is never served
         self.generation = 0
-        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        #: barrier counter; entries stamped with it carry the recency signal
+        self.epoch = 0
+        self._entries: dict[tuple, _CacheEntry] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -147,16 +175,35 @@ class PlanCache:
         if entry is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(key)
+        # stamping the current epoch is idempotent within the epoch, so
+        # concurrent hits commute — recency never depends on lock order
+        entry.last_epoch = self.epoch
         self.stats.hits += 1
         return entry
 
     def put(self, key: tuple, entry: _CacheEntry) -> None:
+        entry.last_epoch = self.epoch
         self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+
+    def checkpoint(self) -> int:
+        """Enforce capacity in ``(last_epoch, key)`` order; advance the epoch.
+
+        Returns the number of evicted entries.  Must be called from the
+        coordinating thread only (no compiles in flight), which is what
+        makes the eviction schedule-independent.
+        """
+        evicted = 0
+        if len(self._entries) > self.capacity:
+            overflow = len(self._entries) - self.capacity
+            victims = sorted(
+                self._entries, key=lambda key: (self._entries[key].last_epoch, key)
+            )[:overflow]
+            for key in victims:
+                del self._entries[key]
+            evicted = len(victims)
+            self.stats.evictions += evicted
+        self.epoch += 1
+        return evicted
 
     def bump_generation(self) -> None:
         """Invalidate every cached plan (a new SIS hint version is active)."""
@@ -199,7 +246,10 @@ class CompilationService:
         # every probe/flip configuration it is optimized under.  This memo
         # stays active even with the plan cache disabled — ``enabled`` is the
         # plan-memoization ablation knob, and binding is deterministic.
-        self._scripts: "OrderedDict[tuple, CompiledScript]" = OrderedDict()
+        # Recency follows the plan cache's epoch scheme (trimmed at
+        # checkpoints), so its accounting is schedule-independent too.
+        self._scripts: dict[tuple, CompiledScript] = {}
+        self._script_epochs: dict[tuple, int] = {}
         self._catalog_version = engine.catalog.version
         # one lock guards LRU mutation, the stats counters, the script memo
         # and the in-flight table; optimization itself runs outside it
@@ -256,20 +306,19 @@ class CompilationService:
             self._catalog_version = self.engine.catalog.version
             self.cache.bump_generation()
             self._scripts.clear()
+            self._script_epochs.clear()
 
-    def compile_many(
-        self,
-        requests: Iterable[CompileRequest],
-        executor: "Executor | None" = None,
-    ) -> "list[OptimizationResult | ScopeError]":
-        """Batch compile, deduplicating identical (script, config) requests.
+    def dedup_batch(
+        self, requests: Iterable[CompileRequest]
+    ) -> tuple[list[tuple], dict[tuple, tuple[str, RuleConfiguration]]]:
+        """Resolve configurations and fold duplicate (script, config) requests.
 
-        Results align with ``requests``; a failing compilation yields its
-        exception instance instead of raising, so one bad request cannot
-        abort the batch.  Duplicates are folded before any compilation
-        happens — the dedup win holds even when the cache is disabled.
-        With an ``executor``, the deduplicated unique requests compile in
-        parallel (first-appearance order is preserved in the accounting).
+        Returns ``(keys, unique)``: ``keys`` aligns with ``requests`` and
+        ``unique`` maps each distinct key to its (script, configuration)
+        work in first-appearance order.  Folded duplicates are counted in
+        ``stats.dedup_hits`` here, so callers driving the unique work
+        themselves (the sharded facade's cross-shard fan-out) keep the
+        exact accounting :meth:`compile_many` produces.
         """
         resolved = [
             (request.job.script,
@@ -289,6 +338,35 @@ class CompilationService:
         if duplicates:
             with self._lock:
                 self.stats.dedup_hits += duplicates
+        return keys, unique
+
+    def compile_entry(
+        self, script: str, config: RuleConfiguration
+    ) -> "OptimizationResult | ScopeError":
+        """Compile one resolved unit, returning the outcome inline.
+
+        Like :meth:`compile_script` but a failing compilation returns its
+        (memoized) error instead of raising — the per-unit shape batch
+        fan-outs need.
+        """
+        entry = self._lookup_or_compile(script, config)
+        return entry.error if entry.error is not None else entry.result
+
+    def compile_many(
+        self,
+        requests: Iterable[CompileRequest],
+        executor: "Executor | None" = None,
+    ) -> "list[OptimizationResult | ScopeError]":
+        """Batch compile, deduplicating identical (script, config) requests.
+
+        Results align with ``requests``; a failing compilation yields its
+        exception instance instead of raising, so one bad request cannot
+        abort the batch.  Duplicates are folded before any compilation
+        happens — the dedup win holds even when the cache is disabled.
+        With an ``executor``, the deduplicated unique requests compile in
+        parallel (first-appearance order is preserved in the accounting).
+        """
+        keys, unique = self.dedup_batch(requests)
         ordered = list(unique)
         if executor is None or len(ordered) <= 1:
             entries = [self._lookup_or_compile(*unique[key]) for key in ordered]
@@ -306,6 +384,29 @@ class CompilationService:
         """Drop every cached plan (called by SIS when hints change)."""
         with self._lock:
             self.cache.bump_generation()
+
+    def checkpoint(self) -> None:
+        """Barrier: enforce cache capacities and advance the recency epoch.
+
+        Called by the pipeline after every stage and every bootstrap day,
+        always from the coordinating thread with no compiles in flight —
+        which is exactly what makes eviction victims (and therefore the
+        whole hit/miss accounting) independent of the worker count.
+        Standalone heavy users of the service should call it at their own
+        batch boundaries; between checkpoints the caches may transiently
+        exceed their capacities by one epoch's distinct keys.
+        """
+        with self._lock:
+            self.cache.checkpoint()
+            if len(self._scripts) > self.config.script_capacity:
+                overflow = len(self._scripts) - self.config.script_capacity
+                victims = sorted(
+                    self._scripts,
+                    key=lambda key: (self._script_epochs.get(key, 0), key),
+                )[:overflow]
+                for key in victims:
+                    del self._scripts[key]
+                    self._script_epochs.pop(key, None)
 
     # -- internals -------------------------------------------------------------
 
@@ -371,7 +472,9 @@ class CompilationService:
         memoization, and the seed code already shared one parse across every
         span-probe configuration.  Runs fully under the service lock —
         parsing is cheap next to optimization, and serializing it keeps the
-        memo, its LRU order and ``script_compilations`` race-free.
+        memo and ``script_compilations`` race-free.  Capacity is enforced
+        at :meth:`checkpoint`, in the same schedule-independent
+        ``(last_epoch, key)`` order as the plan cache.
         """
         with self._lock:
             self._sync_catalog_version()
@@ -383,8 +486,5 @@ class CompilationService:
                 self.stats.script_compilations += 1
                 compiled = self.engine.compile(script)
                 self._scripts[key] = compiled
-                while len(self._scripts) > self.config.script_capacity:
-                    self._scripts.popitem(last=False)
-            else:
-                self._scripts.move_to_end(key)
+            self._script_epochs[key] = self.cache.epoch
             return compiled

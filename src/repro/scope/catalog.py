@@ -100,6 +100,24 @@ class Catalog:
         #: compiled against yesterday's table sizes is never served today
         self.version = 0
 
+    def clone(self) -> "Catalog":
+        """An independent replica with the same tables, stats and version.
+
+        Shard engines each own a replica (``repro.sharding``): mutating one
+        (daily growth) never leaks into another, and because both the
+        staleness perturbation and the growth factors are keyed by
+        ``(seed, table name)``, replicas advanced to the same day stay
+        byte-identical to the primary.  ``TableDef`` objects are shared —
+        day-over-day growth replaces them wholesale rather than mutating.
+        """
+        replica = Catalog(
+            stats_seed=self.stats_seed,
+            stats_staleness_sigma=self.stats_staleness_sigma,
+        )
+        replica._tables = dict(self._tables)
+        replica.version = self.version
+        return replica
+
     def add_table(self, table: TableDef) -> None:
         if table.name in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")

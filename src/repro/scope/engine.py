@@ -70,6 +70,17 @@ class ScopeEngine:
         #: its plan cache; SIS bumps its generation on hint installation
         self.compilation = CompilationService(self, self.config.cache)
 
+    # -- cluster protocol ----------------------------------------------------
+
+    def engine_for_template(self, template_id: str) -> "ScopeEngine":
+        """The engine jobs of ``template_id`` compile on — itself.
+
+        :class:`repro.sharding.ShardedScopeCluster` implements the same
+        method with real routing; callers that may hold either (the span
+        computer, the pipeline tasks) resolve through it uniformly.
+        """
+        return self
+
     # -- compilation ---------------------------------------------------------
 
     def compile(self, script: str) -> CompiledScript:

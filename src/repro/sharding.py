@@ -1,0 +1,342 @@
+"""Sharded multi-cluster scale-out (paper §2, §4.4).
+
+The production QO-Advisor steers SCOPE across *many* clusters: hints flow
+through one SIS deployment, while compilation and flighting happen on the
+cluster a job's virtual-cluster path maps to.  This module reproduces that
+topology:
+
+* :class:`ShardRouter` — stable-hash partitioning of jobs by template id
+  (the unit SIS keys hints by, so a template's production runs, span
+  probes, recompiles and flights all land on the same shard and share its
+  plan cache);
+* :class:`ShardedScopeCluster` — N :class:`~repro.scope.engine.ScopeEngine`
+  shards, each with its **own plan cache** and its **own catalog replica**
+  kept in sync day-over-day by the workload (growth is keyed per
+  ``(seed, table, day)``, so replicas advanced to the same day are
+  byte-identical), behind the same facade the pipeline already talks to;
+* :class:`ShardedCompilationService` — the cluster-wide compile front-end:
+  routes requests to the owning shard, aggregates per-shard
+  :class:`~repro.scope.cache.CacheStats`, and broadcasts invalidations and
+  checkpoints.
+
+SIS stays the **single shared hint store**: ``SISService.attach(cluster)``
+installs its lookup on every shard through the cluster's ``hint_provider``
+property, and every hint-file upload or rollback broadcasts a plan-cache
+invalidation to all shards through :meth:`ShardedCompilationService.invalidate`.
+
+Parallelism composes with the PR-2 executor at the *job* level: pipeline
+stages keep mapping per-job closures through one
+:class:`~repro.parallel.Executor`, and each closure routes to its shard —
+so a single fan-out naturally spreads across every shard's cache and
+engine without nested pools.
+
+The determinism contract extends across topologies: a sharded run's
+``DayReport.fingerprint()`` is byte-identical to the single-shard serial
+run (locked by ``tests/test_sharding.py`` and
+``benchmarks/bench_sharding.py``).  Decisions are identical because every
+per-job quantity is keyed, not sequential; the aggregated cache accounting
+is identical because routing is per template — each (script,
+configuration, catalog-version) key lives on exactly one shard, so the
+per-key hit/miss pattern matches the single cache's.  Cache *eviction*
+accounting is shard-local, so cross-topology equality additionally needs
+the working set to fit the per-shard capacity (worker-count invariance
+needs nothing: eviction itself is schedule-independent, see
+:mod:`repro.scope.cache`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.config import SimulationConfig
+from repro.rng import stable_hash
+from repro.scope.cache import CacheStats, CompileRequest
+from repro.scope.engine import JobRun, ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.rules.base import (
+    RuleConfiguration,
+    RuleFlip,
+    RuleRegistry,
+    default_registry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.errors import ScopeError
+    from repro.parallel import Executor
+    from repro.scope.optimizer.engine import OptimizationResult
+    from repro.scope.runtime.metrics import JobMetrics
+    from repro.workload.generator import Workload
+
+__all__ = ["ShardRouter", "ShardedCompilationService", "ShardedScopeCluster"]
+
+
+class ShardRouter:
+    """Stable-hash partitioning of templates (and their jobs) onto shards.
+
+    Routing must be a pure function of the template id: it decides which
+    shard's plan cache a template's compilations share, and it has to agree
+    across processes and runs (``stable_hash``, not the salted builtin).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"a cluster needs at least 1 shard, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_for(self, template_id: str) -> int:
+        return stable_hash("shard-route", template_id) % self.num_shards
+
+    def shard_for_job(self, job: JobInstance) -> int:
+        return self.shard_for(job.template_id)
+
+    def partition(self, jobs: Iterable[JobInstance]) -> dict[int, list[JobInstance]]:
+        """Jobs grouped by owning shard (input order preserved per group)."""
+        groups: dict[int, list[JobInstance]] = {}
+        for job in jobs:
+            groups.setdefault(self.shard_for_job(job), []).append(job)
+        return groups
+
+
+class ShardedCompilationService:
+    """The cluster-wide compile front-end: route, aggregate, broadcast.
+
+    Presents the same surface as a single shard's
+    :class:`~repro.scope.cache.CompilationService` (``stats``,
+    ``compile_job``, ``compile_script``, ``compile_many``, ``invalidate``,
+    ``checkpoint``), so the pipeline tasks, the span computer and the
+    Flighting Service work against either without branching.
+    """
+
+    def __init__(self, cluster: "ShardedScopeCluster") -> None:
+        self.cluster = cluster
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cluster-wide counters: the sum of every shard's stats.
+
+        Returns a fresh aggregate each call — take ``.snapshot()`` deltas
+        exactly as with a single service.
+        """
+        total = CacheStats()
+        for shard in self.cluster.shards:
+            total = total + shard.compilation.stats
+        return total
+
+    def per_shard_stats(self) -> dict[int, CacheStats]:
+        """Snapshot of each shard's cumulative counters, keyed by shard id."""
+        return {
+            index: shard.compilation.stats.snapshot()
+            for index, shard in enumerate(self.cluster.shards)
+        }
+
+    @property
+    def enabled(self) -> bool:
+        return self.cluster.shards[0].compilation.enabled
+
+    @property
+    def generation(self) -> int:
+        """Shard 0's cache generation (bumps broadcast, so shards agree)."""
+        return self.cluster.shards[0].compilation.generation
+
+    def compile_job(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> "OptimizationResult":
+        service = self.cluster.engine_for(job).compilation
+        return service.compile_job(job, flip, use_hints=use_hints)
+
+    def compile_script(
+        self, script: str, config: RuleConfiguration
+    ) -> "OptimizationResult":
+        """Compile a raw script under an explicit configuration.
+
+        Template-less entry point, so routing hashes the script text —
+        deterministic, and repeated compiles of one script share one
+        shard's cache.  Template-aware callers (the span computer) resolve
+        the owning shard through ``engine_for_template`` instead, so their
+        compiles land next to the template's production plans.
+        """
+        shard = stable_hash("shard-route-script", script) % self.cluster.num_shards
+        return self.cluster.shards[shard].compilation.compile_script(script, config)
+
+    def compile_many(
+        self,
+        requests: Iterable[CompileRequest],
+        executor: "Executor | None" = None,
+    ) -> "list[OptimizationResult | ScopeError]":
+        """Batch compile across shards; results align with ``requests``.
+
+        Requests are partitioned by owning shard and deduplicated per shard
+        (duplicates share a template, hence a shard, so per-shard dedup
+        folds exactly what a single service's global dedup would); the
+        surviving unique units from **all** shards then fan out through one
+        ``executor.map_jobs`` call, so a balanced batch keeps every worker
+        busy across shards instead of draining one shard at a time.  The
+        partitioning itself is stateless, so this method is as thread-safe
+        as the underlying services.
+        """
+        ordered = list(requests)
+        by_shard: dict[int, list[int]] = {}
+        for position, request in enumerate(ordered):
+            shard = self.cluster.router.shard_for_job(request.job)
+            by_shard.setdefault(shard, []).append(position)
+        shard_keys: dict[int, list[tuple]] = {}
+        units: list[tuple[int, tuple, tuple]] = []
+        for shard, positions in by_shard.items():
+            keys, unique = self.cluster.shards[shard].compilation.dedup_batch(
+                [ordered[position] for position in positions]
+            )
+            shard_keys[shard] = keys
+            units.extend((shard, key, work) for key, work in unique.items())
+
+        def compile_unit(unit: tuple) -> object:
+            shard, _, (script, config) = unit
+            return self.cluster.shards[shard].compilation.compile_entry(script, config)
+
+        if executor is None or len(units) <= 1:
+            outcomes = [compile_unit(unit) for unit in units]
+        else:
+            outcomes = executor.map_jobs(compile_unit, units)
+        by_unit = {
+            (shard, key): outcome
+            for (shard, key, _), outcome in zip(units, outcomes)
+        }
+        results: list = [None] * len(ordered)
+        for shard, positions in by_shard.items():
+            for position, key in zip(positions, shard_keys[shard]):
+                results[position] = by_unit[(shard, key)]
+        return results
+
+    def invalidate(self) -> None:
+        """Broadcast a plan-cache invalidation to every shard (SIS bumps)."""
+        for shard in self.cluster.shards:
+            shard.compilation.invalidate()
+
+    def checkpoint(self) -> None:
+        """Broadcast the epoch barrier to every shard's caches."""
+        for shard in self.cluster.shards:
+            shard.compilation.checkpoint()
+
+
+class ShardedScopeCluster:
+    """N ScopeEngine shards behind the single-engine facade.
+
+    Owns the router and the shard engines; implements every member the
+    pipeline, the Flighting Service, the span computer and SIS use on a
+    plain :class:`ScopeEngine` (``run_job``, ``compile_job``, ``execute``,
+    ``compilation``, ``registry``, ``default_config``, ``config``,
+    ``hint_provider``, ``engine_for_template``), so ``QOAdvisor`` swaps one
+    in without the daily loop changing shape.
+
+    Each shard compiles against its **own catalog replica**, registered
+    with the workload so daily growth advances all replicas in lockstep,
+    and owns its **own plan cache** — cross-shard interference is
+    impossible by construction.  Execution noise, gate draws and data
+    reality factors are all keyed by the shared experiment seed, so which
+    shard runs a job never shows in its metrics.
+    """
+
+    def __init__(
+        self,
+        workload: "Workload",
+        config: SimulationConfig | None = None,
+        registry: RuleRegistry | None = None,
+        num_shards: int | None = None,
+    ) -> None:
+        self.config = config or workload.config
+        self.registry = registry or default_registry()
+        shards = num_shards if num_shards is not None else self.config.sharding.shards
+        self.router = ShardRouter(shards)
+        self.workload = workload
+        self.shards: list[ScopeEngine] = []
+        for _ in range(shards):
+            replica = workload.catalog.clone()
+            workload.attach_replica(replica)
+            self.shards.append(ScopeEngine(replica, self.config, self.registry))
+        self.compilation = ShardedCompilationService(self)
+
+    def close(self) -> None:
+        """Detach the shard catalog replicas from the workload (idempotent).
+
+        Without this, a sweep constructing many clusters over one workload
+        keeps growing every dead cluster's replicas on each day advance.
+        """
+        for shard in self.shards:
+            self.workload.detach_replica(shard.catalog)
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    def engine_for_template(self, template_id: str) -> ScopeEngine:
+        return self.shards[self.router.shard_for(template_id)]
+
+    def engine_for(self, job: JobInstance) -> ScopeEngine:
+        return self.shards[self.router.shard_for_job(job)]
+
+    # -- single-engine facade ------------------------------------------------
+
+    @property
+    def default_config(self) -> RuleConfiguration:
+        return self.shards[0].default_config
+
+    @property
+    def hint_provider(self) -> Callable[[str], RuleFlip | None] | None:
+        return self.shards[0].hint_provider
+
+    @hint_provider.setter
+    def hint_provider(self, provider: Callable[[str], RuleFlip | None] | None) -> None:
+        # SIS attaches once to the cluster; the lookup reaches every shard
+        for shard in self.shards:
+            shard.hint_provider = provider
+
+    def compile_job(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> "OptimizationResult":
+        return self.engine_for(job).compile_job(job, flip, use_hints=use_hints)
+
+    def compile_job_uncached(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> "OptimizationResult":
+        return self.engine_for(job).compile_job_uncached(job, flip, use_hints=use_hints)
+
+    def compile(self, script: str):
+        """Raw parse/bind/compile (no plan cache) — the analysis harnesses'
+        entry point.  Catalog replicas are byte-identical, so any shard
+        gives the same answer; shard 0 is used."""
+        return self.shards[0].compile(script)
+
+    def optimize(self, compiled, config: RuleConfiguration | None = None):
+        """Raw optimization of a compiled script (no plan cache); replicas
+        are identical, so shard 0's data model gives the same answer."""
+        return self.shards[0].optimize(compiled, config)
+
+    def execute(self, result: "OptimizationResult", run_key: tuple) -> "JobMetrics":
+        """Execute a plan; the simulator is stateless and noise is keyed by
+        the shared seed, so any shard's runtime gives the identical answer."""
+        return self.shards[0].execute(result, run_key)
+
+    def run_job(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        attempt: int = 0,
+        use_hints: bool = True,
+    ) -> JobRun:
+        return self.engine_for(job).run_job(
+            job, flip, attempt=attempt, use_hints=use_hints
+        )

@@ -4,6 +4,14 @@ SIS manages versioning and validates hint files before installing them in
 the SCOPE optimizer (paper §4.4).  The engine consults
 :meth:`SISService.lookup` for every compiled job; wiring happens through
 ``ScopeEngine.hint_provider``.
+
+SIS is the **single shared hint store** of a deployment, however many
+clusters compile against it: attaching a
+:class:`~repro.sharding.ShardedScopeCluster` installs the lookup on every
+shard (the cluster's ``hint_provider`` property broadcasts), and every
+hint-file version bump — upload or rollback — broadcasts a plan-cache
+invalidation to each attached engine's shards, exactly as one SIS
+deployment steers many SCOPE clusters in production.
 """
 
 from __future__ import annotations
@@ -80,11 +88,16 @@ class SISService:
         return len(self.versions)
 
     def attach(self, engine: ScopeEngine) -> None:
-        """Wire this SIS instance into an engine's compile path.
+        """Wire this SIS instance into an engine's (or cluster's) compile path.
 
-        Attached engines also get their plan caches invalidated whenever the
-        active hint set changes (upload or rollback): a plan memoized under
-        an older hint version must never be served under a newer one.
+        ``engine`` may be a single :class:`ScopeEngine` or a
+        :class:`~repro.sharding.ShardedScopeCluster`; either exposes the
+        same ``hint_provider``/``compilation`` surface.  Attached engines
+        get their plan caches invalidated whenever the active hint set
+        changes (upload or rollback): a plan memoized under an older hint
+        version must never be served under a newer one.  For a cluster both
+        the lookup installation and the invalidations fan out to every
+        shard.
         """
         engine.hint_provider = self.lookup
         if all(existing is not engine for existing in self._engines):

@@ -89,3 +89,76 @@ def test_queue_orders_by_estimated_delta(service, steerable_job):
     ]
     results = service.run_queue(requests, day=1)
     assert results[0].request.est_cost_delta == -0.9
+
+
+def test_timeout_caps_flight_seconds_in_the_result(tiny_engine, steerable_job):
+    """A timed-out flight is killed at the limit, per arm: the machine time
+    in the FlightResult itself is capped, so budget admission and downstream
+    consumers (analysis, fingerprints) all see the same number."""
+    job, flip = steerable_job
+    timeout_s = 0.5  # every simulated run exceeds half a second
+    tight = FlightingService(
+        tiny_engine,
+        FlightingConfig(per_job_timeout_s=timeout_s, filtered_prob=0.0, failure_prob=0.0),
+    )
+    result = tight.flight(FlightRequest(job, flip), day=0)
+    assert result.status is FlightStatus.TIMEOUT
+    # each arm contributes what it consumed before being killed
+    assert result.flight_seconds == min(result.baseline.latency_s, timeout_s) + min(
+        result.treatment.latency_s, timeout_s
+    )
+    assert result.flight_seconds <= 2 * timeout_s
+    # the un-capped machine time really was larger (the cap did something)
+    assert result.baseline.latency_s + result.treatment.latency_s > result.flight_seconds
+
+
+def test_timeout_accounting_consistent_between_queue_and_result(
+    tiny_engine, steerable_job
+):
+    job, flip = steerable_job
+    timeout_s = 0.5
+    tight = FlightingService(
+        tiny_engine,
+        FlightingConfig(
+            queue_size=2,
+            per_job_timeout_s=timeout_s,
+            total_budget_s=timeout_s * 3,
+            filtered_prob=0.0,
+            failure_prob=0.0,
+        ),
+    )
+    results = tight.run_queue(
+        [FlightRequest(job, flip, est_cost_delta=-0.1 * i) for i in range(8)], day=0
+    )
+    flown = [r for r in results if r.status is FlightStatus.TIMEOUT]
+    assert flown  # with a 0.5 s limit every served flight times out
+    assert all(r.flight_seconds <= 2 * timeout_s for r in flown)
+    # budget admission consumed the capped numbers: the 3-timeout budget
+    # admitted more than one 2-flight wave before cutting off
+    assert len(flown) > 2
+    assert any(r.status is FlightStatus.NOT_RUN for r in results)
+
+
+def test_standalone_flight_counter_is_thread_safe(tiny_engine, steerable_job):
+    import threading
+
+    job, flip = steerable_job
+    service = FlightingService(
+        tiny_engine, FlightingConfig(filtered_prob=1.0, failure_prob=0.0)
+    )
+    threads = 8
+    flights_each = 25
+    barrier = threading.Barrier(threads)
+
+    def hammer() -> None:
+        barrier.wait()
+        for _ in range(flights_each):
+            service.flight(FlightRequest(job, flip), day=0)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    # no lost increments: every standalone flight claimed a distinct id
+    assert service._flight_counter == threads * flights_each

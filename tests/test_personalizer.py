@@ -82,6 +82,51 @@ def test_model_versioning_roundtrip():
         service.restore_version(99)
 
 
+def test_restore_version_restores_full_snapshot():
+    """Rollback means the *whole* snapshot: the updates counter must travel
+    with the weights, or a restored model claims training it never kept."""
+    service = PersonalizerService(seed=5)
+    response = service.rank(_context(), _actions())
+    service.reward(response.event_id, 1.5)
+    version = service.publish_version()
+    updates_at_publish = service.learner.updates
+    for _ in range(7):
+        response = service.rank(_context(), _actions())
+        service.reward(response.event_id, 0.2)
+    assert service.learner.updates == updates_at_publish + 7
+    service.restore_version(version)
+    assert service.learner.updates == updates_at_publish
+
+
+def test_unrewarded_events_expire_with_default_reward():
+    config = BanditConfig(activation_timeout_days=2, expired_event_reward=0.25)
+    service = PersonalizerService(config, seed=6)
+    stale = service.rank(_context(), _actions())
+    service.publish_version()  # tick 1: age 1, still pending
+    assert service.pending_events == 1
+    fresh = service.rank(_context(), _actions())
+    service.publish_version()  # tick 2: the stale event ages out
+    assert service.pending_events == 1  # only the fresh one survives
+    assert service.expired_events == 1
+    assert service.event_log[-1].reward == 0.25
+    # the expired event is final: a late reward is rejected like a double one
+    with pytest.raises(PersonalizerError):
+        service.reward(stale.event_id, 1.0)
+    # the fresh event is still rewardable
+    service.reward(fresh.event_id, 1.0)
+    assert service.pending_events == 0
+
+
+def test_expiry_disabled_with_zero_timeout():
+    config = BanditConfig(activation_timeout_days=0)
+    service = PersonalizerService(config, seed=7)
+    service.rank(_context(), _actions())
+    for _ in range(5):
+        service.publish_version()
+    assert service.pending_events == 1
+    assert service.expired_events == 0
+
+
 def test_counterfactual_evaluation_reports_estimators():
     service = PersonalizerService(seed=4)
     for _ in range(50):
