@@ -1,0 +1,123 @@
+"""Online serving layer: throughput, steer latency, batch parity.
+
+Streams the same generated days through :class:`QOAdvisorServer` at three
+shard widths (1 / 2 / 4, one steering worker per shard) and records:
+
+* **throughput** — completed jobs per second of streaming wall-clock
+  (queue admission → steered compile → simulated execution);
+* **steer latency** — p50/p95 of the on-arrival compile wall-clock, the
+  price a job pays for compiling against the live hint version;
+* **serial replay parity** — the inline schedule reproduces batch
+  ``run_day``'s ``DayReport.fingerprint()`` byte for byte, the contract
+  that makes the serving layer a drop-in front-end rather than a fork of
+  the pipeline's semantics.
+
+The container may be single-core, so shard width is asserted on
+correctness (identical fingerprints, all lanes active), never on speedup.
+"""
+
+import dataclasses
+import time
+
+from repro import QOAdvisor, QOAdvisorServer, ServingConfig, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import (
+    ExecutionConfig,
+    FlightingConfig,
+    ShardingConfig,
+    WorkloadConfig,
+)
+
+from benchmarks.conftest import record
+
+DAYS = (0, 1)
+
+
+def _config(shards: int) -> SimulationConfig:
+    return dataclasses.replace(
+        SimulationConfig(seed=20220613),
+        workload=WorkloadConfig(num_templates=14, num_tables=10),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        execution=ExecutionConfig(workers=1, backend="thread"),
+        sharding=ShardingConfig(shards=shards),
+    )
+
+
+def _serve(shards: int, workers_per_shard: int = 1):
+    server = QOAdvisorServer(
+        config=_config(shards),
+        serving=ServingConfig(workers_per_shard=workers_per_shard),
+    )
+    server.start()
+    reports = []
+    streamed = 0
+    elapsed = 0.0
+    for day in DAYS:
+        jobs = server.advisor.workload.jobs_for_day(day)
+        started = time.perf_counter()
+        for job in jobs:
+            server.submit(job)
+        server.drain(timeout=600.0)
+        elapsed += time.perf_counter() - started
+        streamed += len(jobs)
+        reports.append(server.run_maintenance(day))
+    stats = server.stats()
+    throughput = streamed / elapsed if elapsed else 0.0
+    return server, reports, stats, throughput
+
+
+def test_serving_throughput_and_parity(benchmark):
+    # the reference trace: batch run_day on a single shard, serial
+    batch = QOAdvisor(_config(shards=1))
+    batch_reports = [batch.run_day(day) for day in DAYS]
+    batch.close()
+
+    # serial replay through the server (inline schedule)
+    replay_server, replay_reports, _, _ = _serve(1, workers_per_shard=0)
+    parity = [r.fingerprint() for r in replay_reports] == [
+        r.fingerprint() for r in batch_reports
+    ]
+    assert parity
+    replay_server.shutdown()
+
+    rows = [
+        ComparisonRow(
+            "serial replay fingerprints (server vs batch run_day)",
+            "byte-identical",
+            "identical" if parity else "DIVERGED",
+            holds=parity,
+        ),
+    ]
+    threaded_fingerprints = None
+    for shards in (1, 2, 4):
+        server, reports, stats, throughput = _serve(shards)
+        fingerprints = [r.fingerprint() for r in reports]
+        if threaded_fingerprints is None:
+            threaded_fingerprints = fingerprints
+        width_identical = fingerprints == threaded_fingerprints == [
+            r.fingerprint() for r in batch_reports
+        ]
+        assert width_identical
+        assert throughput > 0.0
+        active = [s for s in stats.shards if s.completed > 0]
+        assert len(active) == shards  # every lane did real work
+        p50 = max(s.compile_p50_s for s in stats.shards)
+        p95 = max(s.compile_p95_s for s in stats.shards)
+        rows.append(
+            ComparisonRow(
+                f"{shards}-shard stream: throughput / steer p50 / p95",
+                "all lanes active, identical decisions",
+                f"{throughput:.0f} jobs/s / {p50 * 1e3:.1f}ms / {p95 * 1e3:.1f}ms",
+                holds=width_identical,
+            )
+        )
+        server.shutdown()
+    record("online serving — streamed days vs batch run_day", rows)
+
+    # the hot path: one full streamed day (submit → drain → maintenance)
+    bench_server = QOAdvisorServer(
+        config=_config(2), serving=ServingConfig(workers_per_shard=1)
+    )
+    bench_server.start()
+    benchmark(lambda: bench_server.stream_day(3))
+    bench_server.shutdown()

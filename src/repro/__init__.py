@@ -19,7 +19,13 @@ Quickstart::
     print(reports[-1].outcome_counts())
 """
 
-from repro.config import CacheConfig, ExecutionConfig, ShardingConfig, SimulationConfig
+from repro.config import (
+    CacheConfig,
+    ExecutionConfig,
+    ServingConfig,
+    ShardingConfig,
+    SimulationConfig,
+)
 from repro.core.advisor import QOAdvisor
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
 from repro.parallel import (
@@ -31,16 +37,20 @@ from repro.parallel import (
 )
 from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
+from repro.serving import QOAdvisorServer, ServerStats
 from repro.sharding import ShardedScopeCluster, ShardRouter
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "QOAdvisor",
     "QOAdvisorPipeline",
+    "QOAdvisorServer",
     "DayReport",
     "ScopeEngine",
+    "ServerStats",
+    "ServingConfig",
     "ShardedScopeCluster",
     "ShardRouter",
     "ShardingConfig",

@@ -22,6 +22,7 @@ __all__ = [
     "CacheConfig",
     "ExecutionConfig",
     "ShardingConfig",
+    "ServingConfig",
     "SimulationConfig",
 ]
 
@@ -209,6 +210,32 @@ class ShardingConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Parameters of the online serving layer (``repro.serving``).
+
+    The :class:`~repro.serving.QOAdvisorServer` front-end admits a
+    continuous job stream onto per-shard bounded queues, steers each job
+    against the live SIS hint version on arrival, and micro-batches the
+    offline pipeline work into maintenance windows between hint
+    publications.
+    """
+
+    #: bounded per-shard queue capacity; admission applies beyond it
+    queue_capacity: int = 256
+    #: what happens when a shard queue is full: ``"block"`` waits up to
+    #: ``submit_timeout_s`` for a slot, ``"reject"`` raises immediately
+    admission: str = "block"
+    #: steering worker threads per shard; 0 selects the *inline* schedule
+    #: (jobs are processed synchronously on the submitting thread — the
+    #: serial replay schedule the batch-parity contract is stated for)
+    workers_per_shard: int = 1
+    #: how long a blocking submit waits for queue space before giving up
+    submit_timeout_s: float = 30.0
+    #: worker idle-poll / drain-wait granularity, seconds
+    poll_interval_s: float = 0.01
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level configuration: one object wires an entire experiment."""
 
@@ -222,6 +249,7 @@ class SimulationConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy of this config with a different experiment seed."""

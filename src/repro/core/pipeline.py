@@ -467,21 +467,45 @@ class QOAdvisorPipeline:
             return breakdown()
         return {0: self.engine.compilation.stats.snapshot()}
 
-    def run_day(self, day: int) -> DayReport:
-        cache_before = self.engine.compilation.stats.snapshot()
-        shards_before = self._per_shard_stats()
+    # The daily loop is exposed in four reusable pieces so the online
+    # serving layer (:mod:`repro.serving`) can drive the exact same stage
+    # objects from its maintenance windows: snapshot counters at day open,
+    # run a stage behind the epoch barrier, finalize the report.  Batch
+    # ``run_day`` is the canonical composition of the four.
+
+    def snapshot_stats(self) -> tuple[CacheStats, dict[int, CacheStats]]:
+        """Cumulative (aggregate, per-shard) counters at a day boundary."""
+        return self.engine.compilation.stats.snapshot(), self._per_shard_stats()
+
+    def open_report(self, day: int) -> DayReport:
+        """A fresh report with every stage timing present (and zero)."""
         report = DayReport(day=day)
         report.stage_timings = {name: 0.0 for name in STAGE_NAMES}
-        ctx = StageContext(day=day, report=report)
-        for stage in self.stages:
-            if stage.should_run(ctx):
-                started = time.perf_counter()
-                stage.run(ctx)
-                report.stage_timings[stage.name] = time.perf_counter() - started
-            # the epoch barrier that makes cache eviction (and with it the
-            # whole hit/miss accounting) schedule-independent: capacity is
-            # enforced here, from the coordinating thread, never mid-stage
-            self.engine.compilation.checkpoint()
+        return report
+
+    def run_stage(self, stage: PipelineStage, ctx: StageContext) -> None:
+        """Run one stage (if due today) and close it with the epoch barrier.
+
+        The checkpoint is the barrier that makes cache eviction (and with
+        it the whole hit/miss accounting) schedule-independent: capacity is
+        enforced here, from the coordinating thread, never mid-stage — and
+        it runs even for skipped stages, so the barrier sequence is
+        identical whether a day is driven by batch ``run_day`` or by a
+        serving maintenance window.
+        """
+        if stage.should_run(ctx):
+            started = time.perf_counter()
+            stage.run(ctx)
+            ctx.report.stage_timings[stage.name] = time.perf_counter() - started
+        self.engine.compilation.checkpoint()
+
+    def finalize_report(
+        self,
+        report: DayReport,
+        cache_before: CacheStats,
+        shards_before: dict[int, CacheStats],
+    ) -> DayReport:
+        """Close a day: hint census, cache deltas, Personalizer publish."""
         report.active_hint_count = len(self.sis.active_hints())
         report.cache_stats = self.engine.compilation.stats - cache_before
         report.shard_cache_stats = {
@@ -490,6 +514,14 @@ class QOAdvisorPipeline:
         }
         self.personalizer.publish_version()
         return report
+
+    def run_day(self, day: int) -> DayReport:
+        cache_before, shards_before = self.snapshot_stats()
+        report = self.open_report(day)
+        ctx = StageContext(day=day, report=report)
+        for stage in self.stages:
+            self.run_stage(stage, ctx)
+        return self.finalize_report(report, cache_before, shards_before)
 
     def _representative_requests(
         self, candidates: list[RecompileOutcome], day: int

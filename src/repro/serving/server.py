@@ -1,0 +1,514 @@
+"""QOAdvisorServer: the long-lived online serving front-end.
+
+Wraps a :class:`~repro.core.advisor.QOAdvisor` (and with it a single
+:class:`~repro.scope.engine.ScopeEngine` or a
+:class:`~repro.sharding.ShardedScopeCluster`) behind a job-stream API:
+
+* :meth:`submit` routes a job to its shard's bounded queue through the
+  cluster's :class:`~repro.sharding.ShardRouter` (failed shards are held
+  in the router's exclusion set);
+* each shard *lane* steers arrivals against the **live** SIS hint-file
+  version — compile through the shard's
+  :class:`~repro.scope.cache.CompilationService`, execute on the runtime —
+  on its worker threads (or inline on the submitting thread when
+  ``ServingConfig.workers_per_shard == 0``, the serial replay schedule);
+* completed work accumulates in the :class:`MaintenanceScheduler`, whose
+  :meth:`~repro.serving.maintenance.MaintenanceScheduler.run_window`
+  micro-batches the offline stages (features → recommend → recompile →
+  flight → validate → hintgen) and atomically publishes the next hint
+  version — day boundaries stop being a global barrier, because
+  submissions keep flowing while a window runs;
+* :meth:`fail_shard` kills a lane and requeues its backlog onto the
+  survivors with zero job loss;
+* :meth:`stats` reports per-shard health: queue depth, steer rate,
+  compile-latency percentiles, hint version skew.
+
+Determinism: replaying a day's job stream on the inline schedule
+reproduces batch ``run_day``'s ``DayReport.fingerprint()`` byte for byte
+(locked by ``tests/test_serving.py`` and ``benchmarks/bench_serving.py``).
+The threaded schedule reproduces it too when each day is drained before
+its maintenance window runs (the ``stream_day`` shape): every per-job
+quantity is keyed and the compilation service's accounting is
+schedule-independent.  Jobs admitted *while* a window runs stay correct —
+the hint swap is atomic and every decision is keyed — but their
+interleaving with the window's checkpoint barriers is schedule-shaped, so
+byte-parity is only claimed for drained windows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.config import ServingConfig, SimulationConfig
+from repro.core.advisor import QOAdvisor
+from repro.core.pipeline import DayReport
+from repro.errors import ScopeError
+from repro.scope.engine import JobRun, ScopeEngine
+from repro.scope.jobs import JobInstance
+from repro.serving.maintenance import MaintenanceScheduler
+from repro.serving.queues import JobTicket, QueueClosed, ShardQueue
+from repro.serving.stats import ServerStats, ShardStats, percentile
+from repro.sharding import ShardedScopeCluster, ShardRouter
+
+__all__ = ["QOAdvisorServer"]
+
+
+class _ShardLane:
+    """One shard's serving lane: queue + engine + workers + counters."""
+
+    def __init__(self, index: int, engine: ScopeEngine, queue: ShardQueue) -> None:
+        self.index = index
+        self.engine = engine
+        self.queue = queue
+        self.alive = True
+        self.lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.steered = 0
+        self.requeued = 0
+        self.compile_samples: list[float] = []
+        self.last_hint_version: int | None = None
+        self.threads: list[threading.Thread] = []
+
+
+class QOAdvisorServer:
+    """A long-lived steering service over a QOAdvisor deployment."""
+
+    def __init__(
+        self,
+        advisor: QOAdvisor | None = None,
+        *,
+        config: SimulationConfig | None = None,
+        serving: ServingConfig | None = None,
+        on_window_start: Callable[[int], None] | None = None,
+        on_publish: Callable[[DayReport], None] | None = None,
+    ) -> None:
+        if advisor is None:
+            advisor = QOAdvisor(config or SimulationConfig())
+            self._owns_advisor = True
+        else:
+            self._owns_advisor = False
+        self.advisor = advisor
+        self.serving = serving or advisor.config.serving
+        if self.serving.workers_per_shard < 0:
+            raise ValueError(
+                f"workers_per_shard must be >= 0, got {self.serving.workers_per_shard}"
+            )
+        self.sis = advisor.sis
+        self.pipeline = advisor.pipeline
+        self.scheduler = MaintenanceScheduler(
+            advisor.pipeline,
+            advisor.sis,
+            on_window_start=on_window_start,
+            on_publish=on_publish,
+        )
+        engine = advisor.engine
+        if isinstance(engine, ShardedScopeCluster):
+            self.router = engine.router
+            shard_engines: list[ScopeEngine] = list(engine.shards)
+        else:
+            self.router = ShardRouter(1)
+            shard_engines = [engine]
+        self._lanes = [
+            _ShardLane(
+                index,
+                shard_engine,
+                ShardQueue(self.serving.queue_capacity, self.serving.admission),
+            )
+            for index, shard_engine in enumerate(shard_engines)
+        ]
+        #: the router exclusion set: shards failed over and out of rotation
+        self.failed_shards: set[int] = set()
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        #: unique jobs admitted (requeues do not re-count; rejected don't count)
+        self._admitted = 0
+        self._pending = 0
+        self._done = threading.Condition()
+        self._started = False
+        self._stop = False
+        self._failover_lock = threading.Lock()
+        self._first_submit_at: float | None = None
+        self._last_done_at: float | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._lanes)
+
+    def start(self) -> "QOAdvisorServer":
+        """Begin serving: spawn the shard lanes' steering workers.
+
+        On the inline schedule (``workers_per_shard == 0``) no threads are
+        spawned — jobs are processed on the submitting thread — but any
+        backlog queued before ``start()`` is drained now.
+        """
+        if self._started:
+            return self
+        self._stop = False
+        self._started = True
+        if self.serving.workers_per_shard == 0:
+            for lane in self._lanes:
+                self._drain_lane_inline(lane)
+            return self
+        for lane in self._lanes:
+            if not lane.alive:
+                continue
+            self._spawn_workers(lane)
+        return self
+
+    def _spawn_workers(self, lane: _ShardLane) -> None:
+        for slot in range(self.serving.workers_per_shard):
+            thread = threading.Thread(
+                target=self._worker,
+                args=(lane,),
+                name=f"qoserve-shard{lane.index}-{slot}",
+                daemon=True,
+            )
+            lane.threads.append(thread)
+            thread.start()
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted job has completed (or failed).
+
+        Requires a started server: an unstarted one has nothing consuming
+        the queues, so waiting would never return.
+        """
+        with self._done:
+            if self._pending and not self._started:
+                raise RuntimeError(
+                    f"{self._pending} job(s) queued but the server is not "
+                    "started; call start() before drain()"
+                )
+            if not self._done.wait_for(lambda: self._pending == 0, timeout=timeout):
+                raise TimeoutError(
+                    f"{self._pending} job(s) still pending after {timeout}s"
+                )
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Graceful stop: drain, retire the workers, close the queues.
+
+        Idempotent; an advisor the server constructed itself is closed
+        too (its executor threads are released).
+        """
+        if self._started and self._pending:
+            self.drain(timeout=timeout)
+        self._stop = True
+        for lane in self._lanes:
+            lane.queue.close()
+        for lane in self._lanes:
+            for thread in lane.threads:
+                thread.join(timeout=timeout)
+            lane.threads = []
+        self._started = False
+        if self._owns_advisor:
+            self.advisor.close()
+
+    def __enter__(self) -> "QOAdvisorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- the job stream -----------------------------------------------------
+
+    def submit(self, job: JobInstance, timeout: float | None = None) -> JobTicket:
+        """Admit one job onto its shard's queue; returns its ticket.
+
+        Raises :class:`~repro.serving.queues.QueueFull` under backpressure
+        (per the admission policy) and
+        :class:`~repro.serving.queues.QueueClosed` after shutdown.
+        """
+        if self._stop:
+            raise QueueClosed("the server is shut down; no new submissions")
+        # the delta base for this day's report must exist before the job
+        # can possibly compile
+        self.scheduler.open_day(job.day)
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        ticket = JobTicket(seq=seq, job=job, day=job.day, shard=0)
+        with self._done:
+            self._pending += 1
+        if self._first_submit_at is None:
+            self._first_submit_at = time.perf_counter()
+        try:
+            lane = self._admit(ticket, timeout)
+        except BaseException:
+            with self._done:
+                self._pending -= 1
+                self._done.notify_all()
+            raise
+        with self._seq_lock:
+            self._admitted += 1
+        if self._started and self.serving.workers_per_shard == 0:
+            self._drain_lane_inline(lane)
+        return ticket
+
+    def _admit(self, ticket: JobTicket, timeout: float | None) -> _ShardLane:
+        """Route and enqueue a fresh ticket, re-routing if its shard dies
+        between routing and admission (``fail_shard`` grows the exclusion
+        set *before* closing the queue, so one retry sees the update)."""
+        for _ in range(len(self._lanes) + 1):
+            shard = self.router.shard_for_job(ticket.job, exclude=self.failed_shards)
+            lane = self._lanes[shard]
+            ticket.shard = shard
+            with lane.lock:
+                lane.submitted += 1
+            try:
+                lane.queue.put(
+                    ticket,
+                    timeout=(
+                        timeout if timeout is not None else self.serving.submit_timeout_s
+                    ),
+                )
+                return lane
+            except QueueClosed:
+                with lane.lock:
+                    lane.submitted -= 1
+                if self._stop or shard not in self.failed_shards:
+                    raise
+                continue  # the lane failed over under us; route again
+            except Exception:
+                with lane.lock:
+                    lane.submitted -= 1
+                raise
+        raise QueueClosed(f"no alive shard accepted {ticket.job.job_id}")
+
+    def submit_day(self, day: int) -> list[JobTicket]:
+        """Generate and stream the workload's whole day, in submission order."""
+        return [self.submit(job) for job in self.advisor.workload.jobs_for_day(day)]
+
+    def stream_day(self, day: int) -> DayReport:
+        """Submit a full day, drain it, and run its maintenance window.
+
+        On the inline schedule this is the serial replay of batch
+        ``run_day`` — the fingerprint-parity contract's subject.
+        """
+        if not self._started:
+            self.start()
+        self.submit_day(day)
+        self.drain()
+        return self.run_maintenance(day)
+
+    def serve_days(
+        self, start_day: int, days: int, *, learned_after: int = 3
+    ) -> list[DayReport]:
+        """Stream consecutive days, mirroring ``QOAdvisor.simulate``'s
+        staged rollout (uniform logging first, learned policy after)."""
+        reports = []
+        for offset in range(days):
+            if offset == learned_after:
+                self.advisor.enable_learned_mode()
+            reports.append(self.stream_day(start_day + offset))
+        return reports
+
+    def run_maintenance(self, day: int) -> DayReport:
+        """Drain in-flight work, then run ``day``'s maintenance window."""
+        if self._started:
+            self.drain()
+        elif self._pending:
+            raise RuntimeError(
+                f"{self._pending} job(s) queued but the server is not started; "
+                "start() and drain() before running maintenance"
+            )
+        report = self.scheduler.run_window(day)
+        self.advisor.reports.append(report)
+        return report
+
+    # -- steering (the per-job hot path) ------------------------------------
+
+    def _drain_lane_inline(self, lane: _ShardLane) -> None:
+        while True:
+            ticket = lane.queue.get(timeout=0)
+            if ticket is None:
+                return
+            self._process(lane, ticket)
+
+    def _worker(self, lane: _ShardLane) -> None:
+        poll = self.serving.poll_interval_s
+        while True:
+            ticket = lane.queue.get(timeout=poll)
+            if ticket is None:
+                if lane.queue.closed:
+                    return
+                continue
+            if not lane.alive:
+                # popped after the lane died: hand it to the survivors
+                self._requeue([ticket], lane)
+                continue
+            self._process(lane, ticket)
+
+    def _process(self, lane: _ShardLane, ticket: JobTicket) -> None:
+        """Steer one job against the live hint version, then execute it.
+
+        Mirrors ``ScopeEngine.run_job`` exactly (compile with hints, then
+        execute under the job's keyed run key), but times the compile
+        separately — that wall-clock is the lane's steer latency — and
+        stamps the ticket with the SIS version it compiled against.
+        """
+        job = ticket.job
+        hint_version = self.sis.current_version
+        steered = self.sis.lookup(job.template_id) is not None
+        started = time.perf_counter()
+        try:
+            result = lane.engine.compile_job(job)
+            compile_s = time.perf_counter() - started
+            metrics = lane.engine.execute(result, job.run_key(0))
+            ticket.run = JobRun(job=job, result=result, metrics=metrics)
+        except ScopeError:
+            ticket.failed = True
+            compile_s = time.perf_counter() - started
+        ticket.compile_s = compile_s
+        ticket.hint_version = hint_version
+        ticket.steered = steered and not ticket.failed
+        with lane.lock:
+            if ticket.failed:
+                lane.failed += 1
+            else:
+                lane.completed += 1
+                if ticket.steered:
+                    lane.steered += 1
+            lane.compile_samples.append(compile_s)
+            lane.last_hint_version = hint_version
+        self.scheduler.record(ticket)
+        with self._done:
+            self._pending -= 1
+            self._last_done_at = time.perf_counter()
+            self._done.notify_all()
+
+    # -- failover ------------------------------------------------------------
+
+    def fail_shard(self, shard: int) -> int:
+        """Kill one shard lane and requeue its backlog onto the survivors.
+
+        The lane stops admitting and consuming; every ticket still in its
+        queue (plus any a worker popped but had not started) is re-routed
+        through the router with the failed shard in the exclusion set.  A
+        job the lane was actively steering when the kill lands completes
+        there — nothing is ever lost.  Returns the number of requeued jobs.
+        """
+        with self._failover_lock:
+            lane = self._lanes[shard]
+            if not lane.alive:
+                return 0
+            survivors = [l for l in self._lanes if l.alive and l is not lane]
+            if not survivors:
+                raise ValueError(
+                    f"cannot fail shard {shard}: it is the last one standing"
+                )
+            lane.alive = False
+            self.failed_shards.add(shard)
+            lane.queue.close()
+            backlog = lane.queue.drain()
+            for thread in lane.threads:
+                thread.join()
+            lane.threads = []
+            return self._requeue(backlog, lane)
+
+    def _requeue(self, tickets: list[JobTicket], from_lane: _ShardLane) -> int:
+        """Transplant tickets off a dead lane; every ticket is accounted for.
+
+        The forced put bypasses the capacity bound (backpressure must not
+        lose failover backlog), and a survivor that closes concurrently is
+        excluded and routing retried.  A ticket with nowhere left to go is
+        recorded as a *failed job* — it still appears in its day's report,
+        so the stream's accounting never leaks.
+        """
+        moved = 0
+        for ticket in tickets:
+            ticket.requeues += 1
+            ticket.excluded_shards.add(from_lane.index)
+            with from_lane.lock:
+                from_lane.requeued += 1
+            placed = False
+            exclude = set(self.failed_shards) | ticket.excluded_shards
+            while not placed:
+                try:
+                    target_index = self.router.shard_for_job(ticket.job, exclude=exclude)
+                except ValueError:  # every shard excluded
+                    break
+                target = self._lanes[target_index]
+                try:
+                    target.queue.put(ticket, force=True)
+                except QueueClosed:
+                    exclude.add(target_index)
+                    continue
+                ticket.shard = target_index
+                with target.lock:
+                    target.submitted += 1
+                placed = True
+                moved += 1
+                if self._started and self.serving.workers_per_shard == 0:
+                    self._drain_lane_inline(target)
+            if not placed:
+                ticket.failed = True
+                with from_lane.lock:
+                    from_lane.failed += 1
+                self.scheduler.record(ticket)
+                with self._done:
+                    self._pending -= 1
+                    self._done.notify_all()
+        return moved
+
+    # -- health --------------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """An immutable health/throughput snapshot across every lane."""
+        current_version = self.sis.current_version
+        shards: list[ShardStats] = []
+        completed = failed = steered_total = 0
+        for lane in self._lanes:
+            with lane.lock:
+                samples = list(lane.compile_samples)
+                last = lane.last_hint_version
+                shards.append(
+                    ShardStats(
+                        shard=lane.index,
+                        alive=lane.alive,
+                        queue_depth=lane.queue.depth,
+                        max_queue_depth=lane.queue.max_depth,
+                        submitted=lane.submitted,
+                        completed=lane.completed,
+                        failed=lane.failed,
+                        steered=lane.steered,
+                        requeued=lane.requeued,
+                        compile_p50_s=percentile(samples, 50),
+                        compile_p95_s=percentile(samples, 95),
+                        last_hint_version=last,
+                        hint_version_skew=(
+                            current_version - last if last is not None else 0
+                        ),
+                    )
+                )
+                completed += lane.completed
+                failed += lane.failed
+                steered_total += lane.steered
+        if self._first_submit_at is not None and self._last_done_at is not None:
+            elapsed = max(self._last_done_at - self._first_submit_at, 1e-9)
+            throughput = completed / elapsed
+        else:
+            throughput = 0.0
+        with self._done:
+            in_flight = self._pending
+        with self._seq_lock:
+            admitted = self._admitted
+        return ServerStats(
+            shards=shards,
+            jobs_submitted=admitted,
+            jobs_completed=completed,
+            jobs_failed=failed,
+            jobs_in_flight=in_flight,
+            throughput_jobs_per_s=throughput,
+            hint_version=current_version,
+            maintenance_windows=self.scheduler.windows,
+            publications=self.scheduler.publications,
+        )

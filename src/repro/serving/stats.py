@@ -1,0 +1,114 @@
+"""Per-shard health and throughput metrics for the serving layer.
+
+Every :class:`~repro.serving.server.QOAdvisorServer` keeps live counters
+per shard lane; :meth:`QOAdvisorServer.stats` snapshots them into the
+immutable :class:`ServerStats`/:class:`ShardStats` pair this module
+defines.  The metrics mirror what an operator of the production service
+would watch: queue depth (backpressure), steer rate (how much of the
+stream compiles under an SIS hint), compile latency percentiles (the cost
+of steering on the arrival path), and hint version skew (how far behind
+the latest publication a shard's most recent compile was).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShardStats", "ServerStats", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard lane's health snapshot."""
+
+    shard: int
+    #: False once the shard was killed/failed over
+    alive: bool = True
+    #: tickets currently waiting in the shard's queue
+    queue_depth: int = 0
+    #: high-water mark of the queue depth since the server started
+    max_queue_depth: int = 0
+    #: tickets ever routed to this shard (including later requeues away)
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: completed jobs that compiled under an active SIS hint
+    steered: int = 0
+    #: tickets moved off this shard by failover
+    requeued: int = 0
+    #: compile wall-clock percentiles over the lane's completed jobs
+    compile_p50_s: float = 0.0
+    compile_p95_s: float = 0.0
+    #: SIS hint-file version of the lane's most recent compile (None: none yet)
+    last_hint_version: int | None = None
+    #: current SIS version minus ``last_hint_version`` — a lane serving
+    #: long-queued work shows positive skew right after a publication
+    hint_version_skew: int = 0
+
+    @property
+    def processed(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def steer_rate(self) -> float:
+        return self.steered / self.completed if self.completed else 0.0
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Whole-server snapshot: per-shard lanes plus stream-level totals."""
+
+    shards: list[ShardStats] = field(default_factory=list)
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_in_flight: int = 0
+    #: completed jobs per second of streaming wall-clock
+    throughput_jobs_per_s: float = 0.0
+    #: the live SIS hint-file version
+    hint_version: int = 0
+    #: maintenance windows run / hint publications they produced
+    maintenance_windows: int = 0
+    publications: int = 0
+
+    @property
+    def steer_rate(self) -> float:
+        steered = sum(s.steered for s in self.shards)
+        return steered / self.jobs_completed if self.jobs_completed else 0.0
+
+    def render(self) -> str:
+        """A terminal-friendly multi-line health summary."""
+        lines = [
+            f"server: {self.jobs_completed}/{self.jobs_submitted} jobs completed "
+            f"({self.jobs_failed} failed, {self.jobs_in_flight} in flight), "
+            f"{self.throughput_jobs_per_s:.1f} jobs/s, "
+            f"steer rate {self.steer_rate:.0%}, "
+            f"hint v{self.hint_version}, "
+            f"{self.maintenance_windows} window(s) / {self.publications} publication(s)"
+        ]
+        for shard in self.shards:
+            state = "up" if shard.alive else "FAILED"
+            version = (
+                f"v{shard.last_hint_version} (skew {shard.hint_version_skew})"
+                if shard.last_hint_version is not None
+                else "v-"
+            )
+            lines.append(
+                f"  shard {shard.shard} [{state}]: "
+                f"queue {shard.queue_depth} (max {shard.max_queue_depth}), "
+                f"{shard.completed} ok / {shard.failed} failed / "
+                f"{shard.requeued} requeued, "
+                f"steer {shard.steer_rate:.0%}, "
+                f"compile p50 {shard.compile_p50_s * 1e3:.1f}ms "
+                f"p95 {shard.compile_p95_s * 1e3:.1f}ms, hints {version}"
+            )
+        return "\n".join(lines)

@@ -76,6 +76,13 @@ class ShardRouter:
     Routing must be a pure function of the template id: it decides which
     shard's plan cache a template's compilations share, and it has to agree
     across processes and runs (``stable_hash``, not the salted builtin).
+
+    ``exclude`` is the failover path: the serving layer passes the set of
+    failed shards.  Templates whose primary shard survives stay put (their
+    plan caches stay warm); only the failed shards' templates rehash over
+    the survivors — still a pure function of (template id, exclusion set),
+    so every router instance agrees on where a failed shard's templates
+    land.
     """
 
     def __init__(self, num_shards: int) -> None:
@@ -83,11 +90,25 @@ class ShardRouter:
             raise ValueError(f"a cluster needs at least 1 shard, got {num_shards}")
         self.num_shards = num_shards
 
-    def shard_for(self, template_id: str) -> int:
-        return stable_hash("shard-route", template_id) % self.num_shards
+    def shard_for(
+        self, template_id: str, exclude: "frozenset[int] | set[int]" = frozenset()
+    ) -> int:
+        primary = stable_hash("shard-route", template_id) % self.num_shards
+        if primary not in exclude:
+            # surviving shards keep their whole keyspace (and warm caches):
+            # only the failed shard's templates are rehashed
+            return primary
+        alive = [s for s in range(self.num_shards) if s not in exclude]
+        if not alive:
+            raise ValueError(
+                f"all {self.num_shards} shard(s) are excluded; nowhere to route"
+            )
+        return alive[stable_hash("shard-route-failover", template_id) % len(alive)]
 
-    def shard_for_job(self, job: JobInstance) -> int:
-        return self.shard_for(job.template_id)
+    def shard_for_job(
+        self, job: JobInstance, exclude: "frozenset[int] | set[int]" = frozenset()
+    ) -> int:
+        return self.shard_for(job.template_id, exclude)
 
     def partition(self, jobs: Iterable[JobInstance]) -> dict[int, list[JobInstance]]:
         """Jobs grouped by owning shard (input order preserved per group)."""

@@ -1,0 +1,373 @@
+"""Online serving layer: queues, live steering, maintenance, failover.
+
+The contracts under test:
+
+* **admission/backpressure** — per-shard queues are bounded; ``"reject"``
+  refuses immediately, ``"block"`` waits up to a timeout;
+* **live steering** — jobs compile against the SIS hint version current at
+  arrival, and the ticket records which version that was;
+* **maintenance windows** — the scheduler drains a day's accumulated work
+  through the batch pipeline's own stages and atomically publishes the
+  next hint version, while new submissions keep flowing;
+* **failover** — killing a shard requeues its backlog onto survivors via
+  the router's exclusion set with zero job loss;
+* **batch parity** — replaying a day's stream on the serial (inline)
+  schedule reproduces batch ``run_day``'s ``DayReport.fingerprint()``
+  byte for byte (and the threaded schedule agrees too).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import QOAdvisor, QOAdvisorServer, ServingConfig, ShardRouter, SimulationConfig
+from repro.config import (
+    ExecutionConfig,
+    FlightingConfig,
+    ShardingConfig,
+    WorkloadConfig,
+)
+from repro.scope.jobs import JobInstance
+from repro.scope.optimizer.rules.base import RuleFlip
+from repro.serving import JobTicket, QueueClosed, QueueFull, ShardQueue
+from repro.sis.hints import HintEntry
+
+
+def _config(workers: int = 1, shards: int = 1, seed: int = 555) -> SimulationConfig:
+    return dataclasses.replace(
+        SimulationConfig(seed=seed),
+        workload=WorkloadConfig(num_templates=10, num_tables=8),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        execution=ExecutionConfig(workers=workers, backend="thread"),
+        sharding=ShardingConfig(shards=shards),
+    )
+
+
+def _ticket(seq: int, job_id: str = "j") -> JobTicket:
+    job = JobInstance(job_id, "t", "n", "script", day=0)
+    return JobTicket(seq=seq, job=job, day=0, shard=0)
+
+
+# -- queue admission ----------------------------------------------------------
+
+
+def test_queue_reject_policy_raises_when_full():
+    queue = ShardQueue(capacity=2, admission="reject")
+    queue.put(_ticket(1))
+    queue.put(_ticket(2))
+    assert queue.depth == 2 and queue.max_depth == 2
+    with pytest.raises(QueueFull):
+        queue.put(_ticket(3))
+    # a consumer frees a slot and admission resumes
+    assert queue.get(timeout=0).seq == 1
+    queue.put(_ticket(3))
+    assert [queue.get(timeout=0).seq for _ in range(2)] == [2, 3]
+
+
+def test_queue_block_policy_times_out_and_unblocks():
+    queue = ShardQueue(capacity=1, admission="block")
+    queue.put(_ticket(1))
+    with pytest.raises(QueueFull):
+        queue.put(_ticket(2), timeout=0.01)
+    consumed = []
+
+    def consumer():
+        consumed.append(queue.get(timeout=5.0))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    queue.put(_ticket(2), timeout=5.0)  # unblocks as the consumer pops
+    thread.join()
+    assert consumed[0].seq == 1 and queue.get(timeout=0).seq == 2
+
+
+def test_queue_close_stops_admission_but_keeps_backlog_drainable():
+    queue = ShardQueue(capacity=4)
+    queue.put(_ticket(1))
+    queue.put(_ticket(2))
+    queue.close()
+    with pytest.raises(QueueClosed):
+        queue.put(_ticket(3))
+    assert [t.seq for t in queue.drain()] == [1, 2]
+    assert queue.get(timeout=0) is None  # closed and empty
+
+
+def test_queue_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ShardQueue(capacity=0)
+    with pytest.raises(ValueError):
+        ShardQueue(capacity=1, admission="drop-newest")
+
+
+# -- router exclusion ---------------------------------------------------------
+
+
+def test_router_exclusion_reroutes_stably_and_avoids_failed_shards():
+    router = ShardRouter(4)
+    for index in range(100):
+        template = f"tmpl-{index:04d}"
+        primary = router.shard_for(template)
+        rerouted = router.shard_for(template, exclude={1})
+        assert rerouted != 1 and 0 <= rerouted < 4
+        # pure function of (template, exclusion set)
+        assert rerouted == ShardRouter(4).shard_for(template, exclude={1})
+        # surviving shards keep their keyspace (and their warm caches):
+        # only the failed shard's templates are rehashed
+        if primary != 1:
+            assert rerouted == primary
+    with pytest.raises(ValueError):
+        router.shard_for("tmpl-0000", exclude={0, 1, 2, 3})
+
+
+# -- server backpressure ------------------------------------------------------
+
+
+def test_server_backpressure_rejects_past_capacity():
+    server = QOAdvisorServer(
+        config=_config(shards=1),
+        serving=ServingConfig(queue_capacity=3, admission="reject", workers_per_shard=1),
+    )
+    jobs = server.advisor.workload.jobs_for_day(0)
+    assert len(jobs) > 3
+    # not started: nothing consumes, so the 4th submission must bounce
+    for job in jobs[:3]:
+        server.submit(job)
+    with pytest.raises(QueueFull):
+        server.submit(jobs[3])
+    stats = server.stats()
+    assert stats.jobs_submitted == 3 and stats.jobs_in_flight == 3
+    assert stats.shards[0].queue_depth == 3
+    # start, drain, and the backlog clears
+    server.start()
+    server.drain(timeout=60.0)
+    assert server.stats().jobs_completed + server.stats().jobs_failed == 3
+    server.shutdown()
+
+
+# -- live steering ------------------------------------------------------------
+
+
+def test_jobs_steer_against_the_live_hint_version():
+    server = QOAdvisorServer(
+        config=_config(shards=1), serving=ServingConfig(workers_per_shard=0)
+    )
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    before = server.submit(jobs[0])
+    assert before.done and before.hint_version == 0 and not before.steered
+    # a hint published mid-stream steers every later arrival of the template
+    rule = server.advisor.registry.by_name("LocalGlobalAggregation").rule_id
+    server.sis.upload([HintEntry(jobs[0].template_id, RuleFlip(rule, True))], day=0)
+    after = server.submit(jobs[0])
+    assert after.done and after.hint_version == 1 and after.steered
+    # the steered compile really applied the flip
+    assert after.run.result.signature != before.run.result.signature
+    stats = server.stats()
+    assert stats.shards[0].steered == 1 and stats.hint_version == 1
+    assert stats.shards[0].last_hint_version == 1
+    assert stats.shards[0].hint_version_skew == 0
+    server.shutdown()
+
+
+# -- maintenance windows ------------------------------------------------------
+
+
+def test_maintenance_window_runs_all_stages_and_counts():
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=0)
+    )
+    report = server.stream_day(0)
+    assert set(report.stage_timings) == {
+        "production", "features", "recommend", "recompile",
+        "flight", "validate", "hintgen",
+    }
+    assert len(report.production_runs) + len(report.failed_jobs) == len(
+        server.advisor.workload.jobs_for_day(0)
+    )
+    assert server.scheduler.windows == 1
+    assert server.scheduler.pending(0) == 0  # drained into the report
+    assert server.advisor.reports[-1] is report
+    server.shutdown()
+
+
+def test_submissions_stay_admitted_while_a_window_runs():
+    """Maintenance is not a barrier: jobs flow while the window executes."""
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=1)
+    )
+    # generate day 1 up front so the window does not race catalog growth
+    day1_jobs = server.advisor.workload.jobs_for_day(1)
+    admitted_during_window: list[JobTicket] = []
+
+    def stream_next_day(day: int) -> None:
+        if day == 0:
+            for job in day1_jobs[:3]:
+                admitted_during_window.append(server.submit(job))
+
+    server.scheduler.on_window_start = stream_next_day
+    server.start()
+    server.submit_day(0)
+    server.drain(timeout=60.0)
+    server.run_maintenance(0)
+    assert len(admitted_during_window) == 3  # no deadlock, no rejection
+    server.drain(timeout=60.0)
+    assert all(t.done for t in admitted_during_window)
+    report = server.run_maintenance(1)
+    assert len(report.production_runs) + len(report.failed_jobs) == 3
+    server.shutdown()
+
+
+# -- failover -----------------------------------------------------------------
+
+
+def test_shard_failover_requeues_backlog_with_zero_loss():
+    server = QOAdvisorServer(
+        config=_config(shards=3), serving=ServingConfig(workers_per_shard=1)
+    )
+    tickets = server.submit_day(0)  # not started: queues hold the whole day
+    depths = [shard.queue_depth for shard in server.stats().shards]
+    victim = max(range(3), key=lambda i: depths[i])
+    assert depths[victim] > 0
+    requeued = server.fail_shard(victim)
+    assert requeued == depths[victim]
+    assert server.fail_shard(victim) == 0  # idempotent
+    stats = server.stats()
+    assert not stats.shards[victim].alive
+    assert stats.shards[victim].queue_depth == 0
+    assert stats.shards[victim].requeued == requeued
+    # new submissions never land on the failed shard again
+    rerouted = server.submit(server.advisor.workload.jobs_for_day(0)[0])
+    assert rerouted.shard != victim
+    assert victim in server.failed_shards
+    server.start()
+    server.drain(timeout=120.0)
+    report = server.run_maintenance(0)
+    # zero lost jobs: every submitted job id shows up in the day report
+    reported = {run.job.job_id for run in report.production_runs} | set(
+        report.failed_jobs
+    )
+    assert {t.job.job_id for t in tickets} <= reported
+    final = server.stats()
+    assert final.shards[victim].completed == 0 and final.shards[victim].failed == 0
+    assert final.jobs_completed + final.jobs_failed == len(tickets) + 1
+    server.shutdown()
+
+
+def test_failing_the_last_shard_is_refused():
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=1)
+    )
+    server.fail_shard(0)
+    with pytest.raises(ValueError):
+        server.fail_shard(1)
+    server.shutdown()
+
+
+# -- drain / shutdown ---------------------------------------------------------
+
+
+def test_drain_requires_a_started_server():
+    server = QOAdvisorServer(
+        config=_config(shards=1), serving=ServingConfig(workers_per_shard=1)
+    )
+    server.submit(server.advisor.workload.jobs_for_day(0)[0])
+    with pytest.raises(RuntimeError, match="not.*started"):
+        server.drain(timeout=0.1)
+    with pytest.raises(RuntimeError, match="not started"):
+        server.run_maintenance(0)
+    server.start()
+    server.drain(timeout=60.0)
+    server.shutdown()
+
+
+def test_shutdown_is_graceful_and_terminal():
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=2)
+    )
+    with server as running:
+        running.submit_day(0)
+    # the context exit drained before retiring the workers
+    stats = server.stats()
+    assert stats.jobs_in_flight == 0
+    assert stats.jobs_completed + stats.jobs_failed == stats.jobs_submitted
+    assert not server.started
+    with pytest.raises(QueueClosed):
+        server.submit(server.advisor.workload.jobs_for_day(1)[0])
+    server.shutdown()  # idempotent
+
+
+# -- batch parity -------------------------------------------------------------
+
+
+def test_serial_replay_matches_batch_run_day_single_shard():
+    batch = QOAdvisor(_config(shards=1))
+    baseline = batch.run_day(0)
+    server = QOAdvisorServer(
+        config=_config(shards=1), serving=ServingConfig(workers_per_shard=0)
+    )
+    report = server.stream_day(0)
+    assert report.fingerprint() == baseline.fingerprint()
+    assert report.cache_stats == baseline.cache_stats
+    assert report.shard_cache_stats == baseline.shard_cache_stats
+    server.shutdown()
+    batch.close()
+
+
+def test_threaded_sharded_replay_matches_batch():
+    batch = QOAdvisor(_config(workers=1, shards=1))
+    baseline = batch.run_day(0)
+    server = QOAdvisorServer(
+        config=_config(shards=2),
+        serving=ServingConfig(workers_per_shard=2),
+    )
+    report = server.stream_day(0)
+    assert report.fingerprint() == baseline.fingerprint()
+    assert report.cache_stats == baseline.cache_stats
+    server.shutdown()
+    batch.close()
+
+
+def test_full_deployment_replay_matches_batch_simulate():
+    """Bootstrap + staged rollout + hint publication, batch vs. served.
+
+    Seed 555 publishes a hint file on the first learned day, so this
+    parity run covers the whole loop: the publication lands through a
+    maintenance window, and the next day's arrivals steer against it.
+    """
+    batch = QOAdvisor(_config(seed=555))
+    batch.pipeline.bootstrap_validation_model(start_day=0, days=4, flights_per_day=8)
+    batch_reports = batch.simulate(start_day=4, days=3, learned_after=1)
+
+    published = []
+    server = QOAdvisorServer(
+        config=_config(shards=2, seed=555),
+        serving=ServingConfig(workers_per_shard=0),
+        on_publish=published.append,
+    )
+    server.advisor.pipeline.bootstrap_validation_model(
+        start_day=0, days=4, flights_per_day=8
+    )
+    served_reports = server.serve_days(start_day=4, days=3, learned_after=1)
+
+    assert [r.fingerprint() for r in served_reports] == [
+        r.fingerprint() for r in batch_reports
+    ]
+    assert [r.hint_version for r in served_reports] == [
+        r.hint_version for r in batch_reports
+    ]
+    # the parity run really exercised a publication...
+    assert any(r.hint_version is not None for r in served_reports)
+    assert server.scheduler.publications == sum(
+        1 for r in served_reports if r.hint_version is not None
+    )
+    assert [r.day for r in published] == [
+        r.day for r in served_reports if r.hint_version is not None
+    ]
+    assert server.sis.current_version == batch.sis.current_version
+    # ...and later arrivals steered against the published version live
+    assert server.stats().steer_rate > 0.0
+    server.shutdown()
+    batch.close()
