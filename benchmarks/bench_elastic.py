@@ -1,0 +1,141 @@
+"""Elastic topology & recovery: resize cost, journal replay throughput.
+
+Measures the two operational paths PR 5 adds to the serving layer:
+
+* **resize cost** — wall-clock of ``add_shard`` (provision a new engine,
+  migrate the moved templates' cached plans, rebalance queues) and
+  ``retire_shard`` on a fleet that has already served a day of traffic,
+  with the number of templates whose ownership moved;
+* **journal replay throughput** — records/second of a full
+  ``recover()`` (re-steering every admission and re-running every
+  maintenance window), with the fingerprint verification that recovery
+  rebuilt the pre-crash trace byte-identically.
+
+Correctness is asserted (fingerprint parity after a resize, fingerprints
+verified during replay); wall-clock numbers are reported, never asserted —
+the container may be a single slow core.
+"""
+
+import dataclasses
+import time
+
+from repro import QOAdvisor, QOAdvisorServer, ServingConfig, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import (
+    ExecutionConfig,
+    FlightingConfig,
+    ShardingConfig,
+    WorkloadConfig,
+)
+
+from benchmarks.conftest import record
+
+
+def _config(shards: int = 2) -> SimulationConfig:
+    return dataclasses.replace(
+        SimulationConfig(seed=20220613),
+        workload=WorkloadConfig(num_templates=14, num_tables=10),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        execution=ExecutionConfig(workers=1, backend="thread"),
+        sharding=ShardingConfig(shards=shards),
+    )
+
+
+def test_resize_cost_and_journal_replay(benchmark, tmp_path):
+    rows = []
+
+    # -- the reference trace: static single shard, batch run_day ------------
+    batch = QOAdvisor(_config(shards=1))
+    baseline = [batch.run_day(0), batch.run_day(1)]
+    batch.close()
+
+    # -- resize cost on a warm, already-serving fleet -----------------------
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=0)
+    )
+    server.start()
+    server.submit_day(0)
+    server.drain(timeout=600.0)
+    moved_up = len(server._moves(online={2}))
+    started = time.perf_counter()
+    slot = server.add_shard()
+    grow_ms = (time.perf_counter() - started) * 1e3
+    report0 = server.run_maintenance(0)
+    grow_parity = report0.fingerprint() == baseline[0].fingerprint()
+    assert grow_parity
+
+    server.submit_day(1)
+    server.drain(timeout=600.0)
+    moved_down = len(server._moves(offline={slot}))
+    started = time.perf_counter()
+    server.retire_shard(slot)
+    shrink_ms = (time.perf_counter() - started) * 1e3
+    report1 = server.run_maintenance(1)
+    shrink_parity = report1.fingerprint() == baseline[1].fingerprint()
+    assert shrink_parity
+    server.shutdown()
+    rows.append(
+        ComparisonRow(
+            "add_shard cost (provision + warm-up migration + rebalance)",
+            "fingerprint parity preserved",
+            f"{grow_ms:.1f}ms, {moved_up} template(s) moved"
+            + (", parity holds" if grow_parity else ", DIVERGED"),
+            holds=grow_parity,
+        )
+    )
+    rows.append(
+        ComparisonRow(
+            "retire_shard cost (quiesce + migration + requeue)",
+            "fingerprint parity preserved",
+            f"{shrink_ms:.1f}ms, {moved_down} template(s) moved"
+            + (", parity holds" if shrink_parity else ", DIVERGED"),
+            holds=shrink_parity,
+        )
+    )
+
+    # -- journal replay throughput ------------------------------------------
+    path = tmp_path / "wal.jsonl"
+    journaled = QOAdvisorServer(
+        config=_config(shards=2),
+        serving=ServingConfig(workers_per_shard=0),
+        journal=path,
+    )
+    journaled.stream_day(0)
+    journaled.stream_day(1)
+    # half of day 2 is in flight when the "crash" lands
+    day2 = journaled.advisor.workload.jobs_for_day(2)
+    for job in day2[: len(day2) // 2]:
+        journaled.submit(job)
+    record_count = len(journaled.journal.records())
+
+    def revive():
+        fresh = QOAdvisorServer(
+            config=_config(shards=2),
+            serving=ServingConfig(workers_per_shard=0),
+            journal=path,
+        )
+        recovery = fresh.recover()
+        assert recovery.windows == 2
+        assert recovery.fingerprints_verified == 2
+        fresh.shutdown()
+        return recovery
+
+    started = time.perf_counter()
+    recovery = revive()
+    replay_s = time.perf_counter() - started
+    journaled.shutdown()
+    throughput = record_count / replay_s if replay_s else 0.0
+    rows.append(
+        ComparisonRow(
+            "journal replay (2 days + half-day in flight)",
+            "all window fingerprints verified",
+            f"{record_count} records in {replay_s:.2f}s "
+            f"({throughput:.0f} rec/s), {recovery.admitted} admissions, "
+            f"{recovery.fingerprints_verified}/{recovery.windows} verified",
+            holds=recovery.fingerprints_verified == recovery.windows,
+        )
+    )
+    record("elastic topology & recovery — resize cost, replay throughput", rows)
+
+    # the hot path under the meter: one full recovery cycle
+    benchmark.pedantic(revive, rounds=3, iterations=1)

@@ -101,8 +101,8 @@ def test_serving_throughput_and_parity(benchmark):
         assert throughput > 0.0
         active = [s for s in stats.shards if s.completed > 0]
         assert len(active) == shards  # every lane did real work
-        p50 = max(s.compile_p50_s for s in stats.shards)
-        p95 = max(s.compile_p95_s for s in stats.shards)
+        p50 = max(s.compile_p50_s or 0.0 for s in stats.shards)
+        p95 = max(s.compile_p95_s or 0.0 for s in stats.shards)
         rows.append(
             ComparisonRow(
                 f"{shards}-shard stream: throughput / steer p50 / p95",

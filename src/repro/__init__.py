@@ -37,19 +37,26 @@ from repro.parallel import (
 )
 from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
-from repro.serving import QOAdvisorServer, ServerStats
+from repro.serving import (
+    QOAdvisorServer,
+    RecoveryReport,
+    ServerStats,
+    TicketJournal,
+)
 from repro.sharding import ShardedScopeCluster, ShardRouter
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "QOAdvisor",
     "QOAdvisorPipeline",
     "QOAdvisorServer",
     "DayReport",
+    "RecoveryReport",
     "ScopeEngine",
     "ServerStats",
+    "TicketJournal",
     "ServingConfig",
     "ShardedScopeCluster",
     "ShardRouter",

@@ -207,6 +207,13 @@ class ShardingConfig:
 
     #: number of ScopeEngine shards; 1 keeps the single-engine layout
     shards: int = 1
+    #: routing-keyspace headroom for elastic growth: slots beyond ``shards``
+    #: are pre-provisioned *offline*, so bringing one online only moves the
+    #: templates whose primary hash lands on the joining slot.  0 sizes the
+    #: keyspace to ``shards`` exactly; growth then extends the keyspace,
+    #: which moves more templates (still correct — the warm-up migration
+    #: covers every moved template — just more cache movement per resize)
+    provisioned_shards: int = 0
 
 
 @dataclass(frozen=True)
@@ -233,6 +240,23 @@ class ServingConfig:
     submit_timeout_s: float = 30.0
     #: worker idle-poll / drain-wait granularity, seconds
     poll_interval_s: float = 0.01
+    #: per-lane rolling-p95 steer-latency SLO, milliseconds; None disables
+    #: SLO-driven admission entirely (the deterministic-parity default:
+    #: admission decisions based on wall-clock latency are schedule-shaped)
+    slo_p95_ms: float | None = None
+    #: number of most-recent steer-latency samples the rolling p95 spans
+    slo_window: int = 64
+    #: samples required before a lane may be declared degraded at all
+    slo_min_samples: int = 8
+    #: what happens to a *low-priority* submission on a degraded lane:
+    #: ``"defer"`` parks it on the lane's standby queue until the lane
+    #: recovers (or a drain barrier flushes it); ``"shed"`` drops it,
+    #: recorded as a failed job so the day's accounting never leaks
+    slo_policy: str = "defer"
+    #: append-only write-ahead ticket journal (JSONL path); None disables
+    #: journaling.  A restarted server replays the journal to reconstruct
+    #: its day accumulators and pending maintenance window byte-identically
+    journal_path: str | None = None
 
 
 @dataclass(frozen=True)

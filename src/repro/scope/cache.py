@@ -211,6 +211,27 @@ class PlanCache:
         self.stats.invalidations += len(self._entries)
         self._entries.clear()
 
+    # -- entry migration (elastic rebalancing) --------------------------------
+
+    def extract(self, digest: bytes) -> dict[tuple, _CacheEntry]:
+        """Remove and return every entry whose script hash is ``digest``.
+
+        The rebalancing hand-off: a template that moves to a different
+        shard takes its memoized plans with it instead of recompiling, so
+        no hit/miss/invalidation counter moves on either side and the
+        cross-topology accounting contract survives the resize.
+        """
+        keys = [key for key in self._entries if key[0] == digest]
+        return {key: self._entries.pop(key) for key in keys}
+
+    def adopt(self, key: tuple, entry: _CacheEntry) -> bool:
+        """Insert a migrated entry unless the key is already resident."""
+        if key in self._entries:
+            return False
+        entry.last_epoch = self.epoch
+        self._entries[key] = entry
+        return True
+
 
 @dataclass
 class _InFlightCompile:
@@ -384,6 +405,59 @@ class CompilationService:
         """Drop every cached plan (called by SIS when hints change)."""
         with self._lock:
             self.cache.bump_generation()
+
+    # -- warm-up migration (elastic rebalancing) ------------------------------
+
+    def export_script_state(
+        self, script: str
+    ) -> "tuple[dict[tuple, _CacheEntry], dict[tuple, CompiledScript]]":
+        """Remove and return this shard's cached state for ``script``.
+
+        Every plan-cache entry (all configurations) plus a copy of the
+        parse/bind memo entry.  This is how a rebalanced template's cache
+        warmth follows it to its new owner: entries *migrate* rather than
+        recompile, so no counter moves — the accounting a fingerprint
+        covers stays byte-identical to the static-topology run.
+        """
+        with self._lock:
+            self._sync_catalog_version()
+            digest = PlanCache.script_hash(script)
+            plans = self.cache.extract(digest)
+            skey = (digest, self.engine.catalog.version)
+            scripts: dict[tuple, "CompiledScript"] = {}
+            if skey in self._scripts:
+                # the memo is copied, not moved: it carries no counter and
+                # the source may still probe the script before retiring
+                scripts[skey] = self._scripts[skey]
+        return plans, scripts
+
+    def import_script_state(
+        self,
+        plans: "dict[tuple, _CacheEntry]",
+        scripts: "dict[tuple, CompiledScript]",
+    ) -> "tuple[int, dict[tuple, _CacheEntry]]":
+        """Adopt state exported from another shard (cache warm-up).
+
+        Returns ``(adopted, rejected)``: entries whose key is already
+        resident here (or keyed to a different catalog version) are handed
+        back so the caller can return them to the source instead of
+        silently dropping residency the invalidation counters would miss.
+        """
+        adopted = 0
+        rejected: dict[tuple, _CacheEntry] = {}
+        with self._lock:
+            self._sync_catalog_version()
+            version = self.engine.catalog.version
+            for key, entry in plans.items():
+                if key[-1] == version and self.cache.adopt(key, entry):
+                    adopted += 1
+                else:
+                    rejected[key] = entry
+            for skey, compiled in scripts.items():
+                if skey[-1] == version and skey not in self._scripts:
+                    self._scripts[skey] = compiled
+                    self._script_epochs[skey] = self.cache.epoch
+        return adopted, rejected
 
     def checkpoint(self) -> None:
         """Barrier: enforce cache capacities and advance the recency epoch.

@@ -15,9 +15,14 @@ shape on top of the batch substrate:
 * :class:`~repro.serving.queues.ShardQueue` / ``JobTicket`` — the bounded
   admission surface;
 * :class:`~repro.serving.stats.ServerStats` / ``ShardStats`` — per-shard
-  health and throughput metrics.
+  health and throughput metrics;
+* :class:`~repro.serving.journal.TicketJournal` — the write-ahead journal
+  a restarted server replays (:meth:`QOAdvisorServer.recover`) to
+  reconstruct its day accumulators and pending maintenance window
+  byte-identically after a crash.
 """
 
+from repro.serving.journal import JournalError, RecoveryReport, TicketJournal
 from repro.serving.maintenance import MaintenanceScheduler
 from repro.serving.queues import JobTicket, QueueClosed, QueueFull, ShardQueue
 from repro.serving.server import QOAdvisorServer
@@ -32,4 +37,7 @@ __all__ = [
     "QueueClosed",
     "ServerStats",
     "ShardStats",
+    "TicketJournal",
+    "JournalError",
+    "RecoveryReport",
 ]

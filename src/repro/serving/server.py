@@ -6,7 +6,7 @@ Wraps a :class:`~repro.core.advisor.QOAdvisor` (and with it a single
 
 * :meth:`submit` routes a job to its shard's bounded queue through the
   cluster's :class:`~repro.sharding.ShardRouter` (failed shards are held
-  in the router's exclusion set);
+  in the router's exclusion set, retired shards in its offline set);
 * each shard *lane* steers arrivals against the **live** SIS hint-file
   version — compile through the shard's
   :class:`~repro.scope.cache.CompilationService`, execute on the runtime —
@@ -18,10 +18,27 @@ Wraps a :class:`~repro.core.advisor.QOAdvisor` (and with it a single
   flight → validate → hintgen) and atomically publishes the next hint
   version — day boundaries stop being a global barrier, because
   submissions keep flowing while a window runs;
-* :meth:`fail_shard` kills a lane and requeues its backlog onto the
-  survivors with zero job loss;
+* the topology is **elastic**: :meth:`add_shard` grows the fleet
+  mid-stream (the moved templates' cached plans migrate to the new owner
+  before it enters rotation, so it starts hot), :meth:`retire_shard`
+  shrinks it gracefully, :meth:`fail_shard` kills a lane and requeues its
+  backlog onto the survivors with zero job loss, and :meth:`unfail_shard`
+  rejoins a failed or retired lane — routing determinism is revalidated
+  by construction, because placement is always a pure function of
+  (template id, membership state);
+* **SLO-driven admission**: when a lane's rolling p95 steer latency
+  exceeds ``ServingConfig.slo_p95_ms``, low-priority submissions are
+  deferred onto the lane's standby queue (or shed, by policy) until the
+  lane recovers — surfaced as ``deferred``/``shed`` counters in
+  :class:`~repro.serving.stats.ShardStats`;
+* a write-ahead :class:`~repro.serving.journal.TicketJournal` records
+  admissions, completions and window publications, and :meth:`recover`
+  replays it on a freshly-constructed server so a crash mid-day
+  reconstructs the day accumulators and the pending maintenance window
+  byte-identically (each journaled window fingerprint is re-verified
+  during replay);
 * :meth:`stats` reports per-shard health: queue depth, steer rate,
-  compile-latency percentiles, hint version skew.
+  compile-latency percentiles, hint version skew, SLO admission counters.
 
 Determinism: replaying a day's job stream on the inline schedule
 reproduces batch ``run_day``'s ``DayReport.fingerprint()`` byte for byte
@@ -29,16 +46,20 @@ reproduces batch ``run_day``'s ``DayReport.fingerprint()`` byte for byte
 The threaded schedule reproduces it too when each day is drained before
 its maintenance window runs (the ``stream_day`` shape): every per-job
 quantity is keyed and the compilation service's accounting is
-schedule-independent.  Jobs admitted *while* a window runs stay correct —
-the hint swap is atomic and every decision is keyed — but their
-interleaving with the window's checkpoint barriers is schedule-shaped, so
-byte-parity is only claimed for drained windows.
+schedule-independent.  Elastic resizes preserve the same contract when
+they land at a quiesced instant (``drain()`` then resize): the warm-up
+migration moves cache entries without touching any counter, so the
+drained-window fingerprint matches the static-topology run.  A resize
+racing in-flight compiles stays correct and lossless, but its cache
+accounting is schedule-shaped, exactly like mid-window admissions.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
+from pathlib import Path
 from typing import Callable
 
 from repro.config import ServingConfig, SimulationConfig
@@ -47,6 +68,7 @@ from repro.core.pipeline import DayReport
 from repro.errors import ScopeError
 from repro.scope.engine import JobRun, ScopeEngine
 from repro.scope.jobs import JobInstance
+from repro.serving.journal import JournalError, RecoveryReport, TicketJournal
 from repro.serving.maintenance import MaintenanceScheduler
 from repro.serving.queues import JobTicket, QueueClosed, ShardQueue
 from repro.serving.stats import ServerStats, ShardStats, percentile
@@ -58,18 +80,27 @@ __all__ = ["QOAdvisorServer"]
 class _ShardLane:
     """One shard's serving lane: queue + engine + workers + counters."""
 
-    def __init__(self, index: int, engine: ScopeEngine, queue: ShardQueue) -> None:
+    def __init__(
+        self, index: int, engine: ScopeEngine, queue: ShardQueue, slo_window: int
+    ) -> None:
         self.index = index
         self.engine = engine
         self.queue = queue
         self.alive = True
+        self.retired = False
         self.lock = threading.Lock()
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.steered = 0
         self.requeued = 0
+        self.deferred = 0
+        self.shed = 0
         self.compile_samples: list[float] = []
+        #: rolling window the SLO p95 is computed over
+        self.slo_samples: deque[float] = deque(maxlen=max(1, slo_window))
+        #: low-priority tickets parked until the lane's p95 recovers
+        self.standby: deque[JobTicket] = deque()
         self.last_hint_version: int | None = None
         self.threads: list[threading.Thread] = []
 
@@ -83,6 +114,7 @@ class QOAdvisorServer:
         *,
         config: SimulationConfig | None = None,
         serving: ServingConfig | None = None,
+        journal: "TicketJournal | str | Path | None" = None,
         on_window_start: Callable[[int], None] | None = None,
         on_publish: Callable[[DayReport], None] | None = None,
     ) -> None:
@@ -96,6 +128,11 @@ class QOAdvisorServer:
         if self.serving.workers_per_shard < 0:
             raise ValueError(
                 f"workers_per_shard must be >= 0, got {self.serving.workers_per_shard}"
+            )
+        if self.serving.slo_policy not in ("defer", "shed"):
+            raise ValueError(
+                f"unknown slo_policy {self.serving.slo_policy!r} "
+                "(expected 'defer' or 'shed')"
             )
         self.sis = advisor.sis
         self.pipeline = advisor.pipeline
@@ -117,11 +154,31 @@ class QOAdvisorServer:
                 index,
                 shard_engine,
                 ShardQueue(self.serving.queue_capacity, self.serving.admission),
+                self.serving.slo_window,
             )
             for index, shard_engine in enumerate(shard_engines)
         ]
         #: the router exclusion set: shards failed over and out of rotation
         self.failed_shards: set[int] = set()
+        #: recurring templates are high-priority by default for SLO admission
+        self._recurring = {
+            template.template_id
+            for template in advisor.workload.templates
+            if template.recurring
+        }
+        #: last script seen per template — the "hot script" warm-up
+        #: migration follows on an elastic resize
+        self._hot_scripts: dict[str, str] = {}
+        self._hot_lock = threading.Lock()
+        if journal is None and self.serving.journal_path:
+            journal = self.serving.journal_path
+        if isinstance(journal, (str, Path)):
+            journal = TicketJournal(journal)
+            self._owns_journal = True
+        else:
+            self._owns_journal = False
+        self.journal: TicketJournal | None = journal
+        self._recovering = False
         self._seq = 0
         self._seq_lock = threading.Lock()
         #: unique jobs admitted (requeues do not re-count; rejected don't count)
@@ -179,9 +236,16 @@ class QOAdvisorServer:
     def drain(self, timeout: float | None = None) -> None:
         """Block until every submitted job has completed (or failed).
 
-        Requires a started server: an unstarted one has nothing consuming
-        the queues, so waiting would never return.
+        A drain is a barrier, so it also flushes every lane's SLO standby
+        queue — deferred work always completes by the next drain even if
+        the lane never recovers on its own.  Requires a started server: an
+        unstarted one has nothing consuming the queues, so waiting would
+        never return.
         """
+        if self._started:
+            for lane in self._lanes:
+                if lane.alive:
+                    self._flush_standby(lane, force=True)
         with self._done:
             if self._pending and not self._started:
                 raise RuntimeError(
@@ -197,7 +261,8 @@ class QOAdvisorServer:
         """Graceful stop: drain, retire the workers, close the queues.
 
         Idempotent; an advisor the server constructed itself is closed
-        too (its executor threads are released).
+        too (its executor threads are released), as is a journal the
+        server opened from a path.
         """
         if self._started and self._pending:
             self.drain(timeout=timeout)
@@ -209,6 +274,8 @@ class QOAdvisorServer:
                 thread.join(timeout=timeout)
             lane.threads = []
         self._started = False
+        if self._owns_journal and self.journal is not None:
+            self.journal.close()
         if self._owns_advisor:
             self.advisor.close()
 
@@ -225,7 +292,11 @@ class QOAdvisorServer:
 
         Raises :class:`~repro.serving.queues.QueueFull` under backpressure
         (per the admission policy) and
-        :class:`~repro.serving.queues.QueueClosed` after shutdown.
+        :class:`~repro.serving.queues.QueueClosed` after shutdown.  With
+        an SLO configured, a low-priority job aimed at a degraded lane is
+        deferred (parked on the lane's standby queue; its ticket completes
+        at the next recovery or drain) or shed (returned already marked
+        failed), per ``ServingConfig.slo_policy``.
         """
         if self._stop:
             raise QueueClosed("the server is shut down; no new submissions")
@@ -240,23 +311,147 @@ class QOAdvisorServer:
             self._pending += 1
         if self._first_submit_at is None:
             self._first_submit_at = time.perf_counter()
+        lane = self._slo_gate(ticket)
+        if lane is not None:  # deferred or shed; never reached the queue
+            return ticket
+        # write-ahead: the admit record lands *before* the ticket becomes
+        # visible to any worker, so a worker's "done" record can never
+        # precede its admit in the journal.  An admission that then fails
+        # is compensated with a "reject" record, which replay pre-scans.
+        self._journal_admit(ticket)
         try:
             lane = self._admit(ticket, timeout)
         except BaseException:
+            self._journal({"t": "reject", "seq": ticket.seq, "day": ticket.day})
             with self._done:
                 self._pending -= 1
                 self._done.notify_all()
             raise
         with self._seq_lock:
             self._admitted += 1
-        if self._started and self.serving.workers_per_shard == 0:
+        if self._recovering or (self._started and self.serving.workers_per_shard == 0):
             self._drain_lane_inline(lane)
         return ticket
 
+    def _slo_gate(self, ticket: JobTicket) -> _ShardLane | None:
+        """Apply SLO-driven admission; returns the lane when the ticket was
+        deferred or shed (the normal path returns None and admits)."""
+        if self.serving.slo_p95_ms is None or self._recovering:
+            return None
+        if self._job_priority(ticket.job) != "low":
+            return None
+        try:
+            shard = self.router.shard_for_job(ticket.job, exclude=self.failed_shards)
+        except ValueError:
+            return None  # nowhere to route; let _admit surface the error
+        lane = self._lanes[shard]
+        if not lane.alive or not self._lane_degraded(lane):
+            return None
+        ticket.shard = shard
+        if self.serving.slo_policy == "shed":
+            ticket.shed = True
+            ticket.failed = True
+            with lane.lock:
+                lane.shed += 1
+            self._journal(
+                {
+                    "t": "shed",
+                    "seq": ticket.seq,
+                    "day": ticket.day,
+                    "job": ticket.job.job_id,
+                    "template": ticket.job.template_id,
+                    "shard": shard,
+                }
+            )
+            self.scheduler.record(ticket)
+            with self._done:
+                self._pending -= 1
+                self._done.notify_all()
+            return lane
+        ticket.deferred += 1
+        with self._seq_lock:
+            self._admitted += 1
+        self._journal_admit(ticket)
+        with lane.lock:
+            lane.deferred += 1
+            lane.standby.append(ticket)
+        return lane
+
+    def _journal_admit(self, ticket: JobTicket) -> None:
+        self._journal(
+            {
+                "t": "admit",
+                "seq": ticket.seq,
+                "day": ticket.day,
+                "job": ticket.job.job_id,
+                "template": ticket.job.template_id,
+            }
+        )
+
+    def _job_priority(self, job: JobInstance) -> str:
+        explicit = None
+        if isinstance(job.metadata, dict):
+            explicit = job.metadata.get("priority")
+        if explicit in ("low", "high"):
+            return explicit
+        return "high" if job.template_id in self._recurring else "low"
+
+    def _lane_degraded(self, lane: _ShardLane) -> bool:
+        """Whether the lane's rolling p95 steer latency violates the SLO."""
+        slo = self.serving.slo_p95_ms
+        if slo is None:
+            return False
+        with lane.lock:
+            if len(lane.slo_samples) < max(1, self.serving.slo_min_samples):
+                return False
+            samples = list(lane.slo_samples)
+        p95 = percentile(samples, 95)
+        return p95 is not None and p95 * 1000.0 > slo
+
+    def _flush_standby(self, lane: _ShardLane, force: bool = False) -> None:
+        """Move deferred tickets back onto the lane's queue.
+
+        Runs when the lane's p95 recovers (checked after each completion)
+        and unconditionally at drain barriers (``force``).  Concurrent
+        flushes (two workers completing at once, a drain racing a worker)
+        pop under the lane lock, so every ticket is re-admitted exactly
+        once; a lane that fails mid-flush hands the popped ticket to the
+        requeue path, like the rest of its backlog.
+        """
+        if not lane.standby:  # benign unsynchronized fast path
+            return
+        if not force and self._lane_degraded(lane):
+            return
+        flushed = False
+        while True:
+            with lane.lock:
+                if not lane.standby:
+                    break
+                ticket = lane.standby.popleft()
+            if not lane.alive:
+                self._requeue([ticket], lane)
+                continue
+            with lane.lock:
+                lane.submitted += 1
+            try:
+                lane.queue.put(ticket, force=True)
+            except QueueClosed:  # the lane failed between the checks
+                with lane.lock:
+                    lane.submitted -= 1
+                self._requeue([ticket], lane)
+                continue
+            flushed = True
+        # one inline drain for the whole batch, *after* the standby is
+        # empty: draining per ticket would recurse through _process back
+        # into this method, one stack level per deferred ticket
+        if flushed and self._started and self.serving.workers_per_shard == 0:
+            self._drain_lane_inline(lane)
+
     def _admit(self, ticket: JobTicket, timeout: float | None) -> _ShardLane:
         """Route and enqueue a fresh ticket, re-routing if its shard dies
-        between routing and admission (``fail_shard`` grows the exclusion
-        set *before* closing the queue, so one retry sees the update)."""
+        or retires between routing and admission (the exclusion/offline
+        sets grow *before* the queue closes, so one retry sees the
+        update)."""
         for _ in range(len(self._lanes) + 1):
             shard = self.router.shard_for_job(ticket.job, exclude=self.failed_shards)
             lane = self._lanes[shard]
@@ -274,9 +469,12 @@ class QOAdvisorServer:
             except QueueClosed:
                 with lane.lock:
                     lane.submitted -= 1
-                if self._stop or shard not in self.failed_shards:
+                if self._stop or (
+                    shard not in self.failed_shards
+                    and shard not in self.router.offline
+                ):
                     raise
-                continue  # the lane failed over under us; route again
+                continue  # the lane failed over/retired under us; route again
             except Exception:
                 with lane.lock:
                     lane.submitted -= 1
@@ -299,6 +497,11 @@ class QOAdvisorServer:
         self.drain()
         return self.run_maintenance(day)
 
+    def enable_learned_mode(self) -> None:
+        """Switch the Personalizer to the learned policy (journaled)."""
+        self.advisor.enable_learned_mode()
+        self._journal({"t": "mode", "mode": "learned"})
+
     def serve_days(
         self, start_day: int, days: int, *, learned_after: int = 3
     ) -> list[DayReport]:
@@ -307,7 +510,7 @@ class QOAdvisorServer:
         reports = []
         for offset in range(days):
             if offset == learned_after:
-                self.advisor.enable_learned_mode()
+                self.enable_learned_mode()
             reports.append(self.stream_day(start_day + offset))
         return reports
 
@@ -322,6 +525,14 @@ class QOAdvisorServer:
             )
         report = self.scheduler.run_window(day)
         self.advisor.reports.append(report)
+        self._journal(
+            {
+                "t": "window",
+                "day": day,
+                "hint_version": report.hint_version,
+                "fingerprint": report.fingerprint(),
+            }
+        )
         return report
 
     # -- steering (the per-job hot path) ------------------------------------
@@ -370,6 +581,8 @@ class QOAdvisorServer:
         ticket.compile_s = compile_s
         ticket.hint_version = hint_version
         ticket.steered = steered and not ticket.failed
+        with self._hot_lock:
+            self._hot_scripts[job.template_id] = job.script
         with lane.lock:
             if ticket.failed:
                 lane.failed += 1
@@ -378,12 +591,23 @@ class QOAdvisorServer:
                 if ticket.steered:
                     lane.steered += 1
             lane.compile_samples.append(compile_s)
+            lane.slo_samples.append(compile_s)
             lane.last_hint_version = hint_version
         self.scheduler.record(ticket)
+        self._journal(
+            {
+                "t": "done",
+                "seq": ticket.seq,
+                "day": ticket.day,
+                "failed": ticket.failed,
+            }
+        )
         with self._done:
             self._pending -= 1
             self._last_done_at = time.perf_counter()
             self._done.notify_all()
+        if lane.standby and lane.alive:
+            self._flush_standby(lane)
 
     # -- failover ------------------------------------------------------------
 
@@ -391,10 +615,18 @@ class QOAdvisorServer:
         """Kill one shard lane and requeue its backlog onto the survivors.
 
         The lane stops admitting and consuming; every ticket still in its
-        queue (plus any a worker popped but had not started) is re-routed
-        through the router with the failed shard in the exclusion set.  A
-        job the lane was actively steering when the kill lands completes
-        there — nothing is ever lost.  Returns the number of requeued jobs.
+        queue or standby (plus any a worker popped but had not started) is
+        re-routed through the router with the failed shard in the
+        exclusion set.  A job the lane was actively steering when the kill
+        lands completes there — nothing is ever lost.  The slot also
+        leaves the *router's* rotation, so maintenance-window compiles
+        follow the steering traffic onto the survivors, and once the lane
+        has quiesced its cached plans migrate with its templates (the
+        process is still alive — a lane failure cordons the lane, it does
+        not erase the shard's memory), which is what keeps the accounting
+        of a fail→rejoin cycle byte-identical to a never-failed run.  The
+        shard stays eligible for :meth:`unfail_shard` later.  Returns the
+        number of requeued jobs.
         """
         with self._failover_lock:
             lane = self._lanes[shard]
@@ -405,13 +637,20 @@ class QOAdvisorServer:
                 raise ValueError(
                     f"cannot fail shard {shard}: it is the last one standing"
                 )
+            moves = self._moves(offline={shard})
             lane.alive = False
             self.failed_shards.add(shard)
+            self.router.take_offline(shard)
             lane.queue.close()
             backlog = lane.queue.drain()
+            with lane.lock:
+                backlog.extend(lane.standby)
+                lane.standby.clear()
             for thread in lane.threads:
                 thread.join()
             lane.threads = []
+            self._migrate_entries(moves)
+            self._journal({"t": "topology", "op": "fail", "shard": shard})
             return self._requeue(backlog, lane)
 
     def _requeue(self, tickets: list[JobTicket], from_lane: _ShardLane) -> int:
@@ -454,10 +693,376 @@ class QOAdvisorServer:
                 with from_lane.lock:
                     from_lane.failed += 1
                 self.scheduler.record(ticket)
+                self._journal(
+                    {
+                        "t": "done",
+                        "seq": ticket.seq,
+                        "day": ticket.day,
+                        "failed": True,
+                    }
+                )
                 with self._done:
                     self._pending -= 1
                     self._done.notify_all()
         return moved
+
+    # -- elastic topology -----------------------------------------------------
+
+    def _cluster(self) -> ShardedScopeCluster:
+        engine = self.advisor.engine
+        if not isinstance(engine, ShardedScopeCluster):
+            raise ValueError(
+                "elastic topology needs a sharded cluster "
+                "(ShardingConfig.shards > 1)"
+            )
+        return engine
+
+    def add_shard(self) -> int:
+        """Grow the fleet by one shard, mid-stream.
+
+        The new engine is provisioned offline, the templates that will
+        move to it have their hot scripts' cached plans migrated over
+        (cache warm-up — the shard enters rotation hot), queued tickets
+        are rebalanced, and only then does the slot join routing.  For
+        strict drained-window accounting parity with a static topology,
+        call :meth:`drain` first; a resize racing in-flight compiles stays
+        correct and lossless but schedule-shaped.  Returns the new shard
+        index.
+        """
+        with self._failover_lock:
+            cluster = self._cluster()
+            slot = cluster.provision_shard()
+            lane = _ShardLane(
+                slot,
+                cluster.shards[slot],
+                ShardQueue(self.serving.queue_capacity, self.serving.admission),
+                self.serving.slo_window,
+            )
+            moves = self._moves(online={slot})
+            self._migrate_entries(moves)
+            self._lanes.append(lane)
+            cluster.activate_shard(slot)
+            self._rebalance_queues()
+            if self._started and self.serving.workers_per_shard > 0:
+                self._spawn_workers(lane)
+            self._journal({"t": "topology", "op": "add", "shard": slot})
+            return slot
+
+    def retire_shard(self, shard: int) -> int:
+        """Gracefully shrink the fleet: take one lane out of rotation.
+
+        Unlike :meth:`fail_shard` this is planned: the slot leaves routing
+        first (new arrivals go straight to the survivors), the lane
+        quiesces, the moved templates' cached plans migrate to their new
+        owners, and only then is the backlog requeued — so the survivors
+        serve the moved templates hot.  The lane's catalog replica is
+        released; :meth:`unfail_shard` can still rejoin it later (with a
+        fresh replica).  Returns the number of requeued jobs.
+        """
+        with self._failover_lock:
+            cluster = self._cluster()
+            lane = self._lanes[shard]
+            if not lane.alive:
+                raise ValueError(f"shard {shard} is already out of service")
+            survivors = [l for l in self._lanes if l.alive and l is not lane]
+            if not survivors:
+                raise ValueError(
+                    f"cannot retire shard {shard}: it is the last one standing"
+                )
+            moves = self._moves(offline={shard})
+            self.router.take_offline(shard)
+            lane.queue.close()
+            backlog = lane.queue.drain()
+            with lane.lock:
+                backlog.extend(lane.standby)
+                lane.standby.clear()
+            for thread in lane.threads:
+                thread.join()
+            lane.threads = []
+            self._migrate_entries(moves)
+            cluster.release_shard(shard)
+            lane.alive = False
+            lane.retired = True
+            self._journal({"t": "topology", "op": "retire", "shard": shard})
+            return self._requeue(backlog, lane)
+
+    def unfail_shard(self, shard: int) -> int:
+        """Rejoin a failed (or retired) shard lane.
+
+        The inverse of :meth:`fail_shard`: the slot's engine is rebuilt if
+        its replica was released (a plain failure keeps it — replica sync
+        never stopped, so its plan cache is still valid), the templates
+        returning to it have their cached plans migrated back from the
+        survivors, the lane gets a fresh queue and workers, and queued
+        tickets everywhere are rebalanced onto the restored routing.
+        Routing determinism is revalidated by construction: after rejoin,
+        placement is again a pure function of the template id over the
+        full membership, identical to a fleet that never failed.  Returns
+        the number of tickets rebalanced across lanes.
+        """
+        with self._failover_lock:
+            lane = self._lanes[shard]
+            if lane.alive:
+                return 0
+            engine = self.advisor.engine
+            if isinstance(engine, ShardedScopeCluster):
+                lane.engine = engine.rejoin_shard(shard)
+            moves = self._moves(online={shard})
+            self._migrate_entries(moves)
+            lane.queue = ShardQueue(self.serving.queue_capacity, self.serving.admission)
+            lane.alive = True
+            lane.retired = False
+            self.failed_shards.discard(shard)
+            self.router.bring_online(shard)
+            moved = self._rebalance_queues()
+            if self._started and self.serving.workers_per_shard > 0:
+                self._spawn_workers(lane)
+            self._journal({"t": "topology", "op": "rejoin", "shard": shard})
+            return moved
+
+    def _moves(
+        self,
+        online: "set[int]" = frozenset(),
+        offline: "set[int]" = frozenset(),
+    ) -> dict[str, tuple[int, int]]:
+        """(old owner, new owner) per tracked template whose owner changes
+        under the hypothetical membership update."""
+        preview = self.router.preview(online=online, offline=offline)
+        before_exclude = set(self.failed_shards)
+        after_exclude = before_exclude - set(online)
+        with self._hot_lock:
+            tracked = list(self._hot_scripts)
+        moves: dict[str, tuple[int, int]] = {}
+        for template_id in tracked:
+            try:
+                before = self.router.shard_for(template_id, exclude=before_exclude)
+                after = preview.shard_for(template_id, exclude=after_exclude)
+            except ValueError:
+                continue
+            if before != after:
+                moves[template_id] = (before, after)
+        return moves
+
+    def _migrate_entries(self, moves: dict[str, tuple[int, int]]) -> int:
+        """Move the hot scripts' cached plans to each moved template's new
+        owner (the warm-up path: migration, never recompilation, so no
+        cache counter moves and accounting parity survives the resize)."""
+        engine = self.advisor.engine
+        if not isinstance(engine, ShardedScopeCluster) or not moves:
+            return 0
+        migrated = 0
+        with self._hot_lock:
+            scripts = {tid: self._hot_scripts.get(tid) for tid in moves}
+        for template_id, (source, dest) in moves.items():
+            script = scripts.get(template_id)
+            if script is None or source == dest:
+                continue
+            source_service = engine.shards[source].compilation
+            dest_service = engine.shards[dest].compilation
+            plans, parsed = source_service.export_script_state(script)
+            if not plans and not parsed:
+                continue
+            adopted, rejected = dest_service.import_script_state(plans, parsed)
+            migrated += adopted
+            if rejected:
+                # the destination already compiled these keys (a racing
+                # arrival); hand residency back rather than dropping it
+                source_service.import_script_state(rejected, {})
+        return migrated
+
+    def _rebalance_queues(self) -> int:
+        """Re-route every queued and deferred ticket after a membership
+        change.
+
+        Tickets whose template now belongs to a different lane are moved
+        there (forced put: rebalancing must not bounce on capacity), so a
+        moved template's work follows its migrated cache entries.  A
+        deferred ticket whose new lane is healthy is admitted outright;
+        one whose new lane is also degraded stays deferred there.
+        In-flight tickets finish where they started — correct either way,
+        since every per-job quantity is keyed.
+        """
+        moved = 0
+        # snapshot every lane first, then place: a ticket moved to a later
+        # lane must not be drained and routed a second time in this pass
+        batches: list[tuple[_ShardLane, list[JobTicket], list[JobTicket]]] = []
+        for lane in self._lanes:
+            if not lane.alive:
+                continue
+            pending = lane.queue.drain()
+            with lane.lock:
+                standby = list(lane.standby)
+                lane.standby.clear()
+            batches.append((lane, pending, standby))
+        for lane, pending, standby in batches:
+            for ticket in pending:
+                target = self._lanes[self._route_or_stay(ticket, lane)]
+                if target is lane:
+                    lane.queue.put(ticket, force=True)
+                    continue
+                ticket.shard = target.index
+                with lane.lock:
+                    lane.requeued += 1
+                with target.lock:
+                    target.submitted += 1
+                target.queue.put(ticket, force=True)
+                moved += 1
+            for ticket in standby:
+                target = self._lanes[self._route_or_stay(ticket, lane)]
+                ticket.shard = target.index
+                if target is not lane:
+                    with lane.lock:
+                        lane.requeued += 1
+                    moved += 1
+                if self._lane_degraded(target):
+                    with target.lock:
+                        target.standby.append(ticket)
+                    continue
+                with target.lock:
+                    target.submitted += 1
+                target.queue.put(ticket, force=True)
+        if self._started and self.serving.workers_per_shard == 0:
+            for lane in self._lanes:
+                if lane.alive:
+                    self._drain_lane_inline(lane)
+        return moved
+
+    def _route_or_stay(self, ticket: JobTicket, lane: _ShardLane) -> int:
+        try:
+            return self.router.shard_for_job(ticket.job, exclude=self.failed_shards)
+        except ValueError:
+            return lane.index
+
+    # -- journal recovery -----------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Replay the write-ahead journal into this (fresh) server.
+
+        Call on a newly-constructed server — same config and seed, same
+        bootstrap sequence as the original deployment — before ``start()``
+        or any submission.  Admissions are re-driven through the normal
+        steering path (inline, in journal order: determinism makes the
+        recomputed plans, metrics and bandit draws byte-identical to the
+        lost originals), windows are re-run and their fingerprints checked
+        against the journaled ones, and shed records are re-applied
+        verbatim.  Afterwards the day accumulators and the pending
+        maintenance window match the pre-crash state byte for byte, and
+        the server can resume serving where the dead one stopped.
+        """
+        if self.journal is None:
+            raise ValueError("recover() needs a journal (journal=... or journal_path)")
+        if self._started or self._seq or self.scheduler.windows:
+            raise RuntimeError(
+                "recover() must run on a fresh server, before start() or submit()"
+            )
+        records = self.journal.records()
+        report = RecoveryReport()
+        jobs_by_day: dict[int, dict[str, JobInstance]] = {}
+        replayed: dict[int, JobTicket] = {}
+        # admissions that failed after their write-ahead record landed;
+        # their admit records replay as no-ops
+        rejected = {
+            record["seq"] for record in records if record.get("t") == "reject"
+        }
+        # concurrent submitters can journal admits slightly out of seq
+        # order; track the high-water mark so post-recovery submissions
+        # never reuse a replayed sequence number
+        high_water = 0
+        self._recovering = True
+        try:
+            for record in records:
+                kind = record.get("t")
+                if kind == "admit":
+                    if record["seq"] in rejected:
+                        # the seq was consumed even though admission bounced
+                        high_water = max(high_water, record["seq"])
+                        with self._seq_lock:
+                            self._seq = max(self._seq, record["seq"])
+                        continue
+                    job = self._recovery_job(jobs_by_day, record)
+                    high_water = max(high_water, record["seq"])
+                    with self._seq_lock:
+                        self._seq = record["seq"] - 1
+                    ticket = self.submit(job)
+                    replayed[ticket.seq] = ticket
+                    with self._seq_lock:
+                        self._seq = max(self._seq, high_water)
+                    report.admitted += 1
+                elif kind == "done":
+                    ticket = replayed.get(record["seq"])
+                    if ticket is None or not ticket.done:
+                        raise JournalError(
+                            f"journal completion for seq {record['seq']} has no "
+                            "replayed ticket; the journal is out of order"
+                        )
+                    if bool(record.get("failed")) != ticket.failed:
+                        raise JournalError(
+                            f"replay diverged at seq {record['seq']}: journaled "
+                            f"failed={record.get('failed')}, replayed "
+                            f"failed={ticket.failed}"
+                        )
+                    report.completed += 1
+                elif kind == "shed":
+                    job = self._recovery_job(jobs_by_day, record)
+                    high_water = max(high_water, record["seq"])
+                    with self._seq_lock:
+                        self._seq = max(self._seq, record["seq"])
+                    ticket = JobTicket(
+                        seq=record["seq"], job=job, day=record["day"], shard=0
+                    )
+                    ticket.shed = True
+                    ticket.failed = True
+                    shard = record.get("shard", 0)
+                    if 0 <= shard < len(self._lanes):
+                        ticket.shard = shard
+                        with self._lanes[shard].lock:
+                            self._lanes[shard].shed += 1
+                    self.scheduler.record(ticket)
+                    report.shed += 1
+                elif kind == "window":
+                    day_report = self.run_maintenance(record["day"])
+                    expected = record.get("fingerprint")
+                    if expected:
+                        if day_report.fingerprint() != expected:
+                            raise JournalError(
+                                f"replayed window for day {record['day']} diverged "
+                                "from the journaled fingerprint — the server was "
+                                "not reconstructed like the original (config, "
+                                "seed or bootstrap differ)"
+                            )
+                        report.fingerprints_verified += 1
+                    report.windows += 1
+                elif kind == "mode":
+                    if record.get("mode") == "learned":
+                        self.advisor.enable_learned_mode()
+                    report.mode_switches += 1
+                # "topology" records are breadcrumbs: replay runs on this
+                # server's own topology (placement never enters a fingerprint)
+        finally:
+            self._recovering = False
+        report.in_flight = report.admitted - report.completed
+        return report
+
+    def _recovery_job(
+        self, cache: dict[int, dict[str, JobInstance]], record: dict
+    ) -> JobInstance:
+        day = record["day"]
+        if day not in cache:
+            cache[day] = {
+                job.job_id: job for job in self.advisor.workload.jobs_for_day(day)
+            }
+        job = cache[day].get(record["job"])
+        if job is None:
+            raise JournalError(
+                f"journaled job {record['job']!r} (day {day}) is not reproducible "
+                "from the workload generator; recovery only covers "
+                "workload-derived submissions"
+            )
+        return job
+
+    def _journal(self, record: dict) -> None:
+        if self.journal is not None and not self._recovering:
+            self.journal.append(record)
 
     # -- health --------------------------------------------------------------
 
@@ -465,7 +1070,7 @@ class QOAdvisorServer:
         """An immutable health/throughput snapshot across every lane."""
         current_version = self.sis.current_version
         shards: list[ShardStats] = []
-        completed = failed = steered_total = 0
+        completed = failed = steered_total = deferred_total = shed_total = 0
         for lane in self._lanes:
             with lane.lock:
                 samples = list(lane.compile_samples)
@@ -474,24 +1079,32 @@ class QOAdvisorServer:
                     ShardStats(
                         shard=lane.index,
                         alive=lane.alive,
+                        retired=lane.retired,
                         queue_depth=lane.queue.depth,
                         max_queue_depth=lane.queue.max_depth,
+                        standby_depth=len(lane.standby),
                         submitted=lane.submitted,
                         completed=lane.completed,
                         failed=lane.failed,
                         steered=lane.steered,
                         requeued=lane.requeued,
+                        deferred=lane.deferred,
+                        shed=lane.shed,
                         compile_p50_s=percentile(samples, 50),
                         compile_p95_s=percentile(samples, 95),
                         last_hint_version=last,
                         hint_version_skew=(
-                            current_version - last if last is not None else 0
+                            max(current_version - last, 0)
+                            if last is not None
+                            else None
                         ),
                     )
                 )
                 completed += lane.completed
                 failed += lane.failed
                 steered_total += lane.steered
+                deferred_total += lane.deferred
+                shed_total += lane.shed
         if self._first_submit_at is not None and self._last_done_at is not None:
             elapsed = max(self._last_done_at - self._first_submit_at, 1e-9)
             throughput = completed / elapsed
@@ -507,6 +1120,8 @@ class QOAdvisorServer:
             jobs_completed=completed,
             jobs_failed=failed,
             jobs_in_flight=in_flight,
+            jobs_deferred=deferred_total,
+            jobs_shed=shed_total,
             throughput_jobs_per_s=throughput,
             hint_version=current_version,
             maintenance_windows=self.scheduler.windows,

@@ -6,8 +6,17 @@ immutable :class:`ServerStats`/:class:`ShardStats` pair this module
 defines.  The metrics mirror what an operator of the production service
 would watch: queue depth (backpressure), steer rate (how much of the
 stream compiles under an SIS hint), compile latency percentiles (the cost
-of steering on the arrival path), and hint version skew (how far behind
-the latest publication a shard's most recent compile was).
+of steering on the arrival path), hint version skew (how far behind the
+latest publication a shard's most recent compile was), and the SLO
+admission counters (``deferred``/``shed`` low-priority work on a degraded
+lane).
+
+Metrics that have not been measured are ``None``, never a fabricated
+zero: a lane that steered nothing reports ``compile_p50_s is None`` (not
+"0 ms", which would read as infinitely fast), and a lane that has never
+compiled reports ``hint_version_skew is None`` (not 0, which would read
+as fully caught up, nor the current version, which would read as
+maximally behind).
 """
 
 from __future__ import annotations
@@ -17,10 +26,15 @@ from dataclasses import dataclass, field
 __all__ = ["ShardStats", "ServerStats", "percentile"]
 
 
-def percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0.0 for an empty list)."""
+def percentile(samples: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of ``samples``; ``None`` when unmeasured.
+
+    An empty sample has no percentile — returning 0.0 would report an
+    idle shard as infinitely fast.  A singleton sample reports its single
+    observation at every rank.
+    """
     if not samples:
-        return 0.0
+        return None
     ordered = sorted(samples)
     rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
     return ordered[int(rank)]
@@ -31,28 +45,40 @@ class ShardStats:
     """One shard lane's health snapshot."""
 
     shard: int
-    #: False once the shard was killed/failed over
+    #: False once the shard was killed/failed over or retired
     alive: bool = True
+    #: True when the lane was removed by a planned retire (vs. a failure)
+    retired: bool = False
     #: tickets currently waiting in the shard's queue
     queue_depth: int = 0
     #: high-water mark of the queue depth since the server started
     max_queue_depth: int = 0
+    #: low-priority tickets parked on the lane's SLO standby queue
+    standby_depth: int = 0
     #: tickets ever routed to this shard (including later requeues away)
     submitted: int = 0
     completed: int = 0
     failed: int = 0
     #: completed jobs that compiled under an active SIS hint
     steered: int = 0
-    #: tickets moved off this shard by failover
+    #: tickets moved off this shard by failover or rebalancing
     requeued: int = 0
-    #: compile wall-clock percentiles over the lane's completed jobs
-    compile_p50_s: float = 0.0
-    compile_p95_s: float = 0.0
+    #: low-priority tickets deferred onto the standby queue by SLO admission
+    deferred: int = 0
+    #: low-priority tickets shed (dropped, recorded as failed) by SLO admission
+    shed: int = 0
+    #: compile wall-clock percentiles over the lane's completed jobs;
+    #: None until the lane has at least one sample
+    compile_p50_s: float | None = None
+    compile_p95_s: float | None = None
     #: SIS hint-file version of the lane's most recent compile (None: none yet)
     last_hint_version: int | None = None
     #: current SIS version minus ``last_hint_version`` — a lane serving
-    #: long-queued work shows positive skew right after a publication
-    hint_version_skew: int = 0
+    #: long-queued work shows positive skew right after a publication.
+    #: None for a lane that has not compiled anything yet (an idle lane has
+    #: no skew to report), and clamped at 0 when a rollback lowered the
+    #: current version below the lane's last-seen one
+    hint_version_skew: int | None = None
 
     @property
     def processed(self) -> int:
@@ -72,6 +98,9 @@ class ServerStats:
     jobs_completed: int = 0
     jobs_failed: int = 0
     jobs_in_flight: int = 0
+    #: cumulative low-priority jobs deferred / shed by SLO admission
+    jobs_deferred: int = 0
+    jobs_shed: int = 0
     #: completed jobs per second of streaming wall-clock
     throughput_jobs_per_s: float = 0.0
     #: the live SIS hint-file version
@@ -89,26 +118,34 @@ class ServerStats:
         """A terminal-friendly multi-line health summary."""
         lines = [
             f"server: {self.jobs_completed}/{self.jobs_submitted} jobs completed "
-            f"({self.jobs_failed} failed, {self.jobs_in_flight} in flight), "
+            f"({self.jobs_failed} failed, {self.jobs_in_flight} in flight, "
+            f"{self.jobs_deferred} deferred, {self.jobs_shed} shed), "
             f"{self.throughput_jobs_per_s:.1f} jobs/s, "
             f"steer rate {self.steer_rate:.0%}, "
             f"hint v{self.hint_version}, "
             f"{self.maintenance_windows} window(s) / {self.publications} publication(s)"
         ]
         for shard in self.shards:
-            state = "up" if shard.alive else "FAILED"
+            state = "up" if shard.alive else ("RETIRED" if shard.retired else "FAILED")
             version = (
                 f"v{shard.last_hint_version} (skew {shard.hint_version_skew})"
                 if shard.last_hint_version is not None
                 else "v-"
             )
+            latency = (
+                f"compile p50 {shard.compile_p50_s * 1e3:.1f}ms "
+                f"p95 {shard.compile_p95_s * 1e3:.1f}ms"
+                if shard.compile_p50_s is not None
+                and shard.compile_p95_s is not None
+                else "compile p50/p95 n/a"
+            )
             lines.append(
                 f"  shard {shard.shard} [{state}]: "
-                f"queue {shard.queue_depth} (max {shard.max_queue_depth}), "
+                f"queue {shard.queue_depth} (max {shard.max_queue_depth}, "
+                f"standby {shard.standby_depth}), "
                 f"{shard.completed} ok / {shard.failed} failed / "
                 f"{shard.requeued} requeued, "
                 f"steer {shard.steer_rate:.0%}, "
-                f"compile p50 {shard.compile_p50_s * 1e3:.1f}ms "
-                f"p95 {shard.compile_p95_s * 1e3:.1f}ms, hints {version}"
+                f"{latency}, hints {version}"
             )
         return "\n".join(lines)

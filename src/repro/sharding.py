@@ -73,37 +73,58 @@ __all__ = ["ShardRouter", "ShardedCompilationService", "ShardedScopeCluster"]
 class ShardRouter:
     """Stable-hash partitioning of templates (and their jobs) onto shards.
 
-    Routing must be a pure function of the template id: it decides which
-    shard's plan cache a template's compilations share, and it has to agree
-    across processes and runs (``stable_hash``, not the salted builtin).
+    Routing must be a pure function of the template id and the membership
+    state: it decides which shard's plan cache a template's compilations
+    share, and it has to agree across processes and runs (``stable_hash``,
+    not the salted builtin).
 
-    ``exclude`` is the failover path: the serving layer passes the set of
-    failed shards.  Templates whose primary shard survives stay put (their
-    plan caches stay warm); only the failed shards' templates rehash over
-    the survivors — still a pure function of (template id, exclusion set),
-    so every router instance agrees on where a failed shard's templates
-    land.
+    Membership is elastic.  The router's keyspace is ``num_shards`` *slots*;
+    a slot may be **offline** (pre-provisioned growth headroom, a retired
+    shard, a failed shard awaiting rejoin).  A template whose primary slot
+    is online stays put (its plan cache stays warm); a template whose
+    primary is offline — or excluded by the caller, the serving layer's
+    transient-failure path — falls over by *rendezvous hashing* over the
+    live slots.  Rendezvous placement moves the minimum possible set on any
+    membership change: bringing a slot online moves only the templates whose
+    primary or highest rendezvous weight is the joining slot, and taking one
+    offline moves only the templates it was serving.
     """
 
-    def __init__(self, num_shards: int) -> None:
+    def __init__(self, num_shards: int, *, slots: int | None = None) -> None:
         if num_shards < 1:
             raise ValueError(f"a cluster needs at least 1 shard, got {num_shards}")
-        self.num_shards = num_shards
+        #: total routing slots (the primary-hash modulus); grows monotonically
+        self.num_shards = max(num_shards, slots or num_shards)
+        #: slots with no live engine behind them: pre-provisioned headroom
+        #: beyond the initial shard count, plus retired/failed shards
+        self.offline: set[int] = set(range(num_shards, self.num_shards))
+
+    @property
+    def alive_slots(self) -> list[int]:
+        return [slot for slot in range(self.num_shards) if slot not in self.offline]
 
     def shard_for(
         self, template_id: str, exclude: "frozenset[int] | set[int]" = frozenset()
     ) -> int:
         primary = stable_hash("shard-route", template_id) % self.num_shards
-        if primary not in exclude:
-            # surviving shards keep their whole keyspace (and warm caches):
-            # only the failed shard's templates are rehashed
+        if primary not in exclude and primary not in self.offline:
+            # live shards keep their whole keyspace (and warm caches):
+            # only offline/excluded slots' templates are rehashed
             return primary
-        alive = [s for s in range(self.num_shards) if s not in exclude]
-        if not alive:
+        best_slot = -1
+        best_weight = -1
+        for slot in range(self.num_shards):
+            if slot in exclude or slot in self.offline:
+                continue
+            weight = stable_hash("shard-route-failover", template_id, slot)
+            if weight > best_weight:
+                best_weight, best_slot = weight, slot
+        if best_slot < 0:
             raise ValueError(
-                f"all {self.num_shards} shard(s) are excluded; nowhere to route"
+                f"all {self.num_shards} shard slot(s) are offline or excluded; "
+                "nowhere to route"
             )
-        return alive[stable_hash("shard-route-failover", template_id) % len(alive)]
+        return best_slot
 
     def shard_for_job(
         self, job: JobInstance, exclude: "frozenset[int] | set[int]" = frozenset()
@@ -116,6 +137,55 @@ class ShardRouter:
         for job in jobs:
             groups.setdefault(self.shard_for_job(job), []).append(job)
         return groups
+
+    # -- elastic membership ---------------------------------------------------
+
+    def bring_online(self, slot: int) -> None:
+        """Put ``slot`` into rotation, extending the keyspace if needed.
+
+        Extending the keyspace (onlining a slot at/after ``num_shards``)
+        changes the primary hash of a fraction of all templates; with
+        pre-provisioned headroom (``ShardingConfig.provisioned_shards``)
+        the modulus never changes and only the joining slot's templates
+        move.  Either way :meth:`preview` names the moved set exactly, so
+        warm-up migration stays complete.
+        """
+        if slot < 0:
+            raise ValueError(f"slot must be non-negative, got {slot}")
+        if slot >= self.num_shards:
+            for fresh in range(self.num_shards, slot + 1):
+                self.offline.add(fresh)
+            self.num_shards = slot + 1
+        self.offline.discard(slot)
+
+    def take_offline(self, slot: int) -> None:
+        """Remove ``slot`` from rotation (retire/shrink); keyspace is kept."""
+        if not 0 <= slot < self.num_shards:
+            raise ValueError(f"slot {slot} outside keyspace 0..{self.num_shards - 1}")
+        remaining = [s for s in self.alive_slots if s != slot]
+        if not remaining:
+            raise ValueError(f"cannot take slot {slot} offline: it is the last one")
+        self.offline.add(slot)
+
+    def preview(
+        self,
+        *,
+        online: "frozenset[int] | set[int]" = frozenset(),
+        offline: "frozenset[int] | set[int]" = frozenset(),
+    ) -> "ShardRouter":
+        """A hypothetical router after a membership change (nothing mutated).
+
+        Used to compute, *before* a resize lands, exactly which templates
+        change owner — the set whose cached plans migrate during warm-up.
+        """
+        clone = ShardRouter.__new__(ShardRouter)
+        clone.num_shards = max(self.num_shards, *(s + 1 for s in online)) if online else self.num_shards
+        clone.offline = set(self.offline)
+        for slot in range(self.num_shards, clone.num_shards):
+            clone.offline.add(slot)
+        clone.offline |= set(offline)
+        clone.offline -= set(online)
+        return clone
 
 
 class ShardedCompilationService:
@@ -136,17 +206,22 @@ class ShardedCompilationService:
         """Cluster-wide counters: the sum of every shard's stats.
 
         Returns a fresh aggregate each call — take ``.snapshot()`` deltas
-        exactly as with a single service.
+        exactly as with a single service.  Counters of engines replaced by
+        a retire→rejoin cycle are carried forward by the cluster, so the
+        aggregate never goes backwards mid-day.
         """
         total = CacheStats()
         for shard in self.cluster.shards:
             total = total + shard.compilation.stats
+        for carried in self.cluster._stats_carry.values():
+            total = total + carried
         return total
 
     def per_shard_stats(self) -> dict[int, CacheStats]:
         """Snapshot of each shard's cumulative counters, keyed by shard id."""
         return {
-            index: shard.compilation.stats.snapshot()
+            index: self.cluster._stats_carry.get(index, CacheStats())
+            + shard.compilation.stats.snapshot()
             for index, shard in enumerate(self.cluster.shards)
         }
 
@@ -180,7 +255,7 @@ class ShardedCompilationService:
         the owning shard through ``engine_for_template`` instead, so their
         compiles land next to the template's production plans.
         """
-        shard = stable_hash("shard-route-script", script) % self.cluster.num_shards
+        shard = self.cluster.router.shard_for(f"script:{stable_hash(script):x}")
         return self.cluster.shards[shard].compilation.compile_script(script, config)
 
     def compile_many(
@@ -270,9 +345,17 @@ class ShardedScopeCluster:
         self.config = config or workload.config
         self.registry = registry or default_registry()
         shards = num_shards if num_shards is not None else self.config.sharding.shards
-        self.router = ShardRouter(shards)
+        self.router = ShardRouter(
+            shards, slots=self.config.sharding.provisioned_shards or None
+        )
         self.workload = workload
         self.shards: list[ScopeEngine] = []
+        #: slots whose catalog replica was detached by a retire (a rejoin
+        #: rebuilds the engine from a fresh replica clone)
+        self._detached: set[int] = set()
+        #: counters of engines replaced by retire→rejoin cycles, carried so
+        #: the aggregate cache accounting never moves backwards
+        self._stats_carry: dict[int, CacheStats] = {}
         for _ in range(shards):
             replica = workload.catalog.clone()
             workload.attach_replica(replica)
@@ -285,14 +368,92 @@ class ShardedScopeCluster:
         Without this, a sweep constructing many clusters over one workload
         keeps growing every dead cluster's replicas on each day advance.
         """
-        for shard in self.shards:
-            self.workload.detach_replica(shard.catalog)
+        for index, shard in enumerate(self.shards):
+            if index not in self._detached:
+                self.workload.detach_replica(shard.catalog)
+
+    # -- elastic membership ---------------------------------------------------
+
+    def provision_shard(self) -> int:
+        """Build the next slot's engine without routing to it yet.
+
+        The new shard gets its own catalog replica (cloned from the
+        workload's current state, so its catalog version matches every
+        peer's) and the shared SIS hint lookup.  It stays *offline* until
+        :meth:`activate_shard` — the serving layer warms its plan cache
+        with the moved templates' entries in between, so the shard enters
+        rotation hot.
+        """
+        slot = len(self.shards)
+        replica = self.workload.catalog.clone()
+        self.workload.attach_replica(replica)
+        engine = ScopeEngine(replica, self.config, self.registry)
+        engine.hint_provider = self.shards[0].hint_provider
+        self.shards.append(engine)
+        return slot
+
+    def activate_shard(self, slot: int) -> None:
+        """Put a provisioned (or rejoined) slot into routing rotation."""
+        if not 0 <= slot < len(self.shards):
+            raise ValueError(f"slot {slot} has no engine (shards: {len(self.shards)})")
+        self.router.bring_online(slot)
+
+    def add_shard(self) -> int:
+        """Grow the fleet by one shard (provision + activate, no warm-up).
+
+        Callers that need cache warm-up for the moved templates (the
+        serving layer) drive :meth:`provision_shard`/:meth:`activate_shard`
+        separately with the migration in between.
+        """
+        slot = self.provision_shard()
+        self.activate_shard(slot)
+        return slot
+
+    def release_shard(self, slot: int) -> None:
+        """Detach a slot's catalog replica (it stops syncing with the
+        workload); the slot must already be out of routing rotation."""
+        if slot not in self.router.offline:
+            raise ValueError(f"slot {slot} is still in rotation; retire it first")
+        if slot in self._detached:
+            return
+        self.workload.detach_replica(self.shards[slot].catalog)
+        self._detached.add(slot)
+
+    def retire_shard(self, slot: int) -> None:
+        """Shrink the fleet: take a slot out of rotation and release it."""
+        if slot in self.router.offline:
+            raise ValueError(f"slot {slot} is already out of rotation")
+        self.router.take_offline(slot)
+        self.release_shard(slot)
+
+    def rejoin_shard(self, slot: int) -> ScopeEngine:
+        """Prepare a retired/failed slot's engine for rejoin (still offline).
+
+        A slot whose replica was detached gets a freshly-built engine on a
+        current replica clone (its old counters are carried forward); a
+        slot that merely failed over keeps its engine — replica sync never
+        stopped, so its plan cache is still valid.  The caller warms the
+        returned engine, then calls :meth:`activate_shard`.
+        """
+        if not 0 <= slot < len(self.shards):
+            raise ValueError(f"slot {slot} has no engine (shards: {len(self.shards)})")
+        if slot in self._detached:
+            old = self.shards[slot].compilation.stats.snapshot()
+            self._stats_carry[slot] = self._stats_carry.get(slot, CacheStats()) + old
+            replica = self.workload.catalog.clone()
+            self.workload.attach_replica(replica)
+            engine = ScopeEngine(replica, self.config, self.registry)
+            engine.hint_provider = self.shards[0].hint_provider
+            self.shards[slot] = engine
+            self._detached.discard(slot)
+        return self.shards[slot]
 
     # -- routing -------------------------------------------------------------
 
     @property
     def num_shards(self) -> int:
-        return self.router.num_shards
+        """Number of shard engines (live or retired); slot indices are dense."""
+        return len(self.shards)
 
     def engine_for_template(self, template_id: str) -> ScopeEngine:
         return self.shards[self.router.shard_for(template_id)]

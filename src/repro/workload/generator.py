@@ -50,12 +50,16 @@ class Workload:
 
         The replica is immediately advanced to the workload's current day,
         so shards built mid-simulation never compile against stale sizes.
-        Pair with :meth:`detach_replica` when the owning cluster is done —
-        sweeps constructing many clusters over one workload would otherwise
-        keep growing dead replicas forever.
+        A replica whose catalog version already matches the primary's is a
+        fresh clone of the current state — re-growing it would be a no-op
+        content-wise but would bump its version out of sync with its peers,
+        and plan-cache entries migrated between shards on an elastic resize
+        key on that version.  Pair with :meth:`detach_replica` when the
+        owning cluster is done — sweeps constructing many clusters over one
+        workload would otherwise keep growing dead replicas forever.
         """
         self._replicas.append(catalog)
-        if self._current_day is not None:
+        if self._current_day is not None and catalog.version != self.catalog.version:
             self._grow(catalog, self._current_day)
 
     def detach_replica(self, catalog: Catalog) -> None:

@@ -1,0 +1,331 @@
+"""Elastic shard membership: resize, rejoin, warm-up, accounting parity.
+
+The contracts under test:
+
+* **router elasticity** — slots go online/offline with minimal template
+  movement (rendezvous failover), previews are pure, and a rejoined fleet
+  routes exactly like one that never changed;
+* **cluster resize** — ``provision_shard``/``activate_shard`` grow the
+  fleet with a catalog replica in version lockstep; ``retire_shard``
+  shrinks it and ``rejoin_shard`` rebuilds it;
+* **warm-up migration** — templates that change owner take their cached
+  plans with them, so the new owner serves its first routed batch from a
+  hot cache and no cache counter moves;
+* **mid-stream resize parity** — a day streamed through N→N+1→N topology
+  changes (resizes at drained instants) loses zero jobs and produces the
+  same drained-window ``DayReport.fingerprint()`` (including the cache
+  accounting) as the static-topology batch run;
+* **fail → rejoin** — ``unfail_shard`` reverses ``fail_shard``; a fleet
+  that failed and rejoined a shard replays a day byte-identically to one
+  that never failed (the routing-determinism revalidation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import QOAdvisor, QOAdvisorServer, ServingConfig, ShardRouter, SimulationConfig
+from repro.config import (
+    ExecutionConfig,
+    FlightingConfig,
+    ShardingConfig,
+    WorkloadConfig,
+)
+from repro.sharding import ShardedScopeCluster
+from repro.workload.generator import build_workload
+
+
+def _config(
+    workers: int = 1, shards: int = 1, seed: int = 555, provisioned: int = 0
+) -> SimulationConfig:
+    return dataclasses.replace(
+        SimulationConfig(seed=seed),
+        workload=WorkloadConfig(num_templates=10, num_tables=8),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        execution=ExecutionConfig(workers=workers, backend="thread"),
+        sharding=ShardingConfig(shards=shards, provisioned_shards=provisioned),
+    )
+
+
+_TEMPLATES = [f"tmpl-{index:04d}" for index in range(200)]
+
+
+# -- router elasticity --------------------------------------------------------
+
+
+def test_provisioned_slots_stay_offline_until_brought_online():
+    router = ShardRouter(2, slots=4)
+    assert router.num_shards == 4 and router.alive_slots == [0, 1]
+    for template in _TEMPLATES:
+        assert router.shard_for(template) in (0, 1)
+    router.bring_online(2)
+    assert router.alive_slots == [0, 1, 2]
+    assert any(router.shard_for(t) == 2 for t in _TEMPLATES)
+
+
+def test_bring_online_moves_only_templates_bound_for_the_new_slot():
+    router = ShardRouter(2, slots=4)
+    before = {t: router.shard_for(t) for t in _TEMPLATES}
+    router.bring_online(2)
+    after = {t: router.shard_for(t) for t in _TEMPLATES}
+    moved = {t for t in _TEMPLATES if before[t] != after[t]}
+    assert moved  # the join attracted real ownership
+    # every move targets the joining slot: live shards keep their keyspace
+    assert all(after[t] == 2 for t in moved)
+
+
+def test_take_offline_moves_only_the_leaving_slots_templates():
+    router = ShardRouter(3)
+    before = {t: router.shard_for(t) for t in _TEMPLATES}
+    router.take_offline(1)
+    after = {t: router.shard_for(t) for t in _TEMPLATES}
+    for template in _TEMPLATES:
+        if before[template] != 1:
+            assert after[template] == before[template]
+        else:
+            assert after[template] != 1
+    with pytest.raises(ValueError):
+        ShardRouter(1).take_offline(0)  # the last slot cannot leave
+
+
+def test_preview_is_pure_and_matches_the_applied_change():
+    router = ShardRouter(2)
+    preview = router.preview(online={2})
+    assert router.num_shards == 2 and router.offline == set()  # untouched
+    applied = ShardRouter(2)
+    applied.bring_online(2)
+    for template in _TEMPLATES:
+        assert preview.shard_for(template) == applied.shard_for(template)
+
+
+def test_rejoined_router_routes_like_a_never_changed_one():
+    router = ShardRouter(3)
+    router.take_offline(2)
+    router.bring_online(2)
+    fresh = ShardRouter(3)
+    for template in _TEMPLATES:
+        assert router.shard_for(template) == fresh.shard_for(template)
+
+
+def test_keyspace_extension_matches_a_fresh_router():
+    router = ShardRouter(2)
+    router.bring_online(2)
+    fresh = ShardRouter(3)
+    for template in _TEMPLATES:
+        assert router.shard_for(template) == fresh.shard_for(template)
+
+
+# -- cluster resize -----------------------------------------------------------
+
+
+def test_cluster_add_shard_keeps_catalog_replicas_in_lockstep():
+    config = _config(shards=2)
+    workload = build_workload(config)
+    cluster = ShardedScopeCluster(workload, config, workload.registry)
+    workload.jobs_for_day(0)  # advance to day 0 before the resize
+    slot = cluster.add_shard()
+    assert slot == 2 and cluster.num_shards == 3
+    replica = cluster.shards[slot].catalog
+    assert replica is not workload.catalog
+    # version lockstep with every peer: migrated cache keys stay valid
+    versions = {shard.catalog.version for shard in cluster.shards}
+    assert versions == {workload.catalog.version}
+    workload.jobs_for_day(1)  # growth reaches the new replica too
+    assert {t.name: t.row_count for t in replica} == {
+        t.name: t.row_count for t in workload.catalog
+    }
+    cluster.close()
+
+
+def test_cluster_retire_and_rejoin_shard():
+    config = _config(shards=3)
+    workload = build_workload(config)
+    cluster = ShardedScopeCluster(workload, config, workload.registry)
+    cluster.retire_shard(1)
+    assert 1 in cluster.router.offline
+    assert len(workload._replicas) == 2  # the retired replica stopped syncing
+    with pytest.raises(ValueError):
+        cluster.retire_shard(1)  # already out
+    engine = cluster.rejoin_shard(1)
+    cluster.activate_shard(1)
+    assert cluster.shards[1] is engine
+    assert engine.catalog.version == workload.catalog.version
+    assert len(workload._replicas) == 3
+    assert cluster.router.offline == set()
+    cluster.close()
+
+
+# -- server-level elasticity --------------------------------------------------
+
+
+def test_add_shard_warmup_prepopulates_the_new_shards_cache():
+    """The moved templates' cached plans migrate to the joining shard, so
+    its first routed compile is a cache *hit* with zero optimizer work."""
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=0)
+    )
+    server.start()
+    jobs = server.submit_day(0)
+    cluster = server.advisor.engine
+    before = {t.job.template_id: server.router.shard_for(t.job.template_id) for t in jobs}
+    slot = server.add_shard()
+    moved_jobs = [
+        t.job
+        for t in jobs
+        if server.router.shard_for(t.job.template_id) == slot
+        and before[t.job.template_id] != slot
+    ]
+    assert moved_jobs  # the resize moved real, already-served templates
+    new_stats = cluster.shards[slot].compilation.stats
+    base = new_stats.snapshot()
+    result = cluster.compile_job(moved_jobs[0])
+    delta = new_stats - base
+    assert result is not None
+    assert delta.hits == 1 and delta.misses == 0
+    assert delta.optimizer_invocations == 0  # served entirely from warm-up
+    server.shutdown()
+
+
+def test_mid_stream_resize_parity_and_zero_loss_threaded():
+    """The acceptance contract: N→N+1 and N+1→N resizes mid-day, threaded
+    submission, zero job loss, drained-window fingerprint parity with the
+    static topology (cache accounting included)."""
+    batch = QOAdvisor(_config(shards=1))
+    baseline = batch.run_day(0)
+    batch.close()
+
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=2)
+    )
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    third = max(1, len(jobs) // 3)
+
+    def submit_chunk(chunk):
+        threads = [
+            threading.Thread(target=server.submit, args=(job,)) for job in chunk
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    submit_chunk(jobs[:third])
+    server.drain(timeout=120.0)
+    added = server.add_shard()  # 2 → 3
+    assert added == 2 and server.num_shards == 3
+    submit_chunk(jobs[third : 2 * third])
+    server.drain(timeout=120.0)
+    requeued = server.retire_shard(1)  # 3 → 2
+    assert requeued == 0  # drained: nothing was waiting
+    submit_chunk(jobs[2 * third :])
+    server.drain(timeout=120.0)
+    report = server.run_maintenance(0)
+
+    assert report.fingerprint() == baseline.fingerprint()
+    assert report.cache_stats == baseline.cache_stats
+    # zero loss: every submitted job id shows up in the day report
+    reported = {run.job.job_id for run in report.production_runs} | set(
+        report.failed_jobs
+    )
+    assert {job.job_id for job in jobs} == reported
+    stats = server.stats()
+    assert stats.jobs_in_flight == 0
+    assert stats.shards[1].retired and not stats.shards[1].alive
+    # new arrivals avoid the retired lane
+    followup = server.submit(server.advisor.workload.jobs_for_day(0)[0])
+    assert followup.shard != 1
+    server.drain(timeout=60.0)
+    server.shutdown()
+
+
+def test_fail_rejoin_replay_matches_a_never_failed_run():
+    """The unfail path: fail mid-stream, rejoin mid-stream, and the drained
+    day is byte-identical to a fleet that never failed — exclusion sets no
+    longer poison the fleet."""
+    reference = QOAdvisorServer(
+        config=_config(shards=3), serving=ServingConfig(workers_per_shard=0)
+    )
+    expected = reference.stream_day(0)
+    reference.shutdown()
+
+    server = QOAdvisorServer(
+        config=_config(shards=3), serving=ServingConfig(workers_per_shard=0)
+    )
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    third = max(1, len(jobs) // 3)
+    for job in jobs[:third]:
+        server.submit(job)
+    victim = 1
+    server.fail_shard(victim)
+    assert victim in server.failed_shards
+    for job in jobs[third : 2 * third]:
+        ticket = server.submit(job)
+        assert ticket.shard != victim  # failover routing held
+    rebalanced = server.unfail_shard(victim)
+    assert rebalanced == 0  # inline schedule: nothing was queued
+    assert victim not in server.failed_shards
+    assert server.stats().shards[victim].alive
+    for job in jobs[2 * third :]:
+        server.submit(job)
+    server.drain(timeout=60.0)
+    report = server.run_maintenance(0)
+
+    assert report.fingerprint() == expected.fingerprint()
+    assert report.cache_stats == expected.cache_stats
+    # routing determinism revalidated: the fleet routes like a fresh one
+    fresh = ShardRouter(3)
+    for job in jobs:
+        assert server.router.shard_for(job.template_id) == fresh.shard_for(
+            job.template_id
+        )
+    # the rejoined lane serves traffic again
+    server.submit_day(1)
+    server.drain(timeout=60.0)
+    assert server.stats().shards[victim].completed > 0
+    server.run_maintenance(1)
+    server.shutdown()
+
+
+def test_unfail_is_a_noop_on_a_live_shard_and_elastic_needs_a_cluster():
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=0)
+    )
+    assert server.unfail_shard(1) == 0  # alive: nothing to do
+    server.shutdown()
+    single = QOAdvisorServer(
+        config=_config(shards=1), serving=ServingConfig(workers_per_shard=0)
+    )
+    with pytest.raises(ValueError, match="sharded cluster"):
+        single.add_shard()
+    with pytest.raises(ValueError, match="sharded cluster"):
+        single.retire_shard(0)
+    single.shutdown()
+
+
+def test_retired_shard_can_rejoin_with_a_fresh_replica():
+    server = QOAdvisorServer(
+        config=_config(shards=3), serving=ServingConfig(workers_per_shard=0)
+    )
+    server.start()
+    server.submit_day(0)
+    server.drain(timeout=60.0)
+    server.retire_shard(2)
+    old_engine = server.advisor.engine.shards[2]
+    server.unfail_shard(2)
+    assert server.advisor.engine.shards[2] is not old_engine  # rebuilt
+    assert (
+        server.advisor.engine.shards[2].catalog.version
+        == server.advisor.workload.catalog.version
+    )
+    stats = server.stats()
+    assert stats.shards[2].alive and not stats.shards[2].retired
+    server.submit_day(1)
+    server.drain(timeout=60.0)
+    server.run_maintenance(0)
+    server.run_maintenance(1)
+    server.shutdown()

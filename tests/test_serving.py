@@ -33,6 +33,7 @@ from repro.config import (
 from repro.scope.jobs import JobInstance
 from repro.scope.optimizer.rules.base import RuleFlip
 from repro.serving import JobTicket, QueueClosed, QueueFull, ShardQueue
+from repro.serving.stats import percentile
 from repro.sis.hints import HintEntry
 
 
@@ -297,6 +298,133 @@ def test_shutdown_is_graceful_and_terminal():
     with pytest.raises(QueueClosed):
         server.submit(server.advisor.workload.jobs_for_day(1)[0])
     server.shutdown()  # idempotent
+
+
+# -- health metric edge cases -------------------------------------------------
+
+
+def test_percentiles_are_none_until_measured_not_fabricated_zeroes():
+    # empty sample: no percentile exists (0.0 would mean "infinitely fast")
+    assert percentile([], 50) is None and percentile([], 95) is None
+    # singleton sample: the single observation at every rank, no IndexError
+    assert percentile([0.25], 50) == 0.25 and percentile([0.25], 95) == 0.25
+    assert percentile([0.25], 0) == 0.25 and percentile([0.25], 100) == 0.25
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=0)
+    )
+    stats = server.stats()  # zero jobs steered anywhere
+    for shard in stats.shards:
+        assert shard.compile_p50_s is None and shard.compile_p95_s is None
+    assert "n/a" in stats.render()  # renders without crashing on None
+    server.shutdown()
+
+
+def test_idle_lane_skew_is_none_across_a_publication():
+    """Regression: a lane that idles across a hint publication must not
+    report skew as 0 (caught up), as the current version (maximally
+    behind), or negative — it has no skew to report at all."""
+    server = QOAdvisorServer(
+        config=_config(shards=2), serving=ServingConfig(workers_per_shard=0)
+    )
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    # keep one lane completely idle: submit only the other lane's templates
+    busy_shard = server.router.shard_for_job(jobs[0])
+    idle_shard = 1 - busy_shard
+    for job in jobs:
+        if server.router.shard_for_job(job) == busy_shard:
+            server.submit(job)
+    # a publication lands while the idle lane has never compiled anything
+    rule = server.advisor.registry.by_name("LocalGlobalAggregation").rule_id
+    server.sis.upload([HintEntry(jobs[0].template_id, RuleFlip(rule, True))], day=0)
+    stats = server.stats()
+    assert stats.hint_version == 1
+    assert stats.shards[idle_shard].last_hint_version is None
+    assert stats.shards[idle_shard].hint_version_skew is None
+    assert stats.shards[busy_shard].hint_version_skew == 1  # really behind
+    # a rollback must not drive the busy lane's skew negative
+    server.sis.rollback()
+    assert server.stats().shards[busy_shard].hint_version_skew == 0
+    stats.render()  # the idle lane renders as "v-", no crash
+    server.shutdown()
+
+
+# -- SLO-driven admission -----------------------------------------------------
+
+
+def _slo_serving(**overrides) -> ServingConfig:
+    defaults = dict(
+        workers_per_shard=0, slo_p95_ms=1e-9, slo_window=8, slo_min_samples=1
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+def test_degraded_lane_defers_low_priority_until_drain():
+    server = QOAdvisorServer(config=_config(shards=1), serving=_slo_serving())
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    first = server.submit(jobs[0])  # high priority: served, trips the SLO
+    assert first.done
+    low = dataclasses.replace(jobs[1], metadata={"priority": "low"})
+    parked = server.submit(low)
+    assert not parked.done and parked.deferred == 1
+    stats = server.stats()
+    assert stats.shards[0].deferred == 1 and stats.shards[0].standby_depth == 1
+    assert stats.jobs_deferred == 1 and stats.jobs_in_flight == 1
+    # high-priority traffic keeps flowing past the parked ticket
+    assert server.submit(jobs[2]).done
+    # the drain barrier flushes standby work; nothing is ever lost
+    server.drain(timeout=60.0)
+    assert parked.done and not parked.failed
+    report = server.run_maintenance(0)
+    assert low.job_id in {run.job.job_id for run in report.production_runs}
+    server.shutdown()
+
+
+def test_degraded_lane_sheds_low_priority_by_policy():
+    server = QOAdvisorServer(
+        config=_config(shards=1), serving=_slo_serving(slo_policy="shed")
+    )
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    server.submit(jobs[0])
+    low = dataclasses.replace(jobs[1], metadata={"priority": "low"})
+    dropped = server.submit(low)
+    assert dropped.shed and dropped.failed and dropped.done
+    stats = server.stats()
+    assert stats.shards[0].shed == 1 and stats.jobs_shed == 1
+    assert stats.jobs_in_flight == 0
+    server.drain(timeout=60.0)
+    # the shed job still appears in the day's accounting, as a failure
+    report = server.run_maintenance(0)
+    assert low.job_id in report.failed_jobs
+    server.shutdown()
+
+
+def test_healthy_lane_admits_low_priority_and_slo_off_by_default():
+    # below slo_min_samples the lane is never declared degraded
+    server = QOAdvisorServer(
+        config=_config(shards=1), serving=_slo_serving(slo_min_samples=3)
+    )
+    server.start()
+    jobs = server.advisor.workload.jobs_for_day(0)
+    low = dataclasses.replace(jobs[0], metadata={"priority": "low"})
+    assert server.submit(low).done  # 0 samples < 3: admitted normally
+    server.shutdown()
+    # and with no SLO configured, priority never matters
+    plain = QOAdvisorServer(
+        config=_config(shards=1), serving=ServingConfig(workers_per_shard=0)
+    )
+    plain.start()
+    low2 = dataclasses.replace(jobs[1], metadata={"priority": "low"})
+    assert plain.submit(low2).done
+    plain.shutdown()
+    with pytest.raises(ValueError, match="slo_policy"):
+        QOAdvisorServer(
+            config=_config(shards=1),
+            serving=ServingConfig(slo_policy="drop-oldest"),
+        )
 
 
 # -- batch parity -------------------------------------------------------------
