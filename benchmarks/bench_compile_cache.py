@@ -15,6 +15,8 @@ import time
 from repro import QOAdvisor, SimulationConfig
 from repro.analysis.report import ComparisonRow
 from repro.config import CacheConfig, FlightingConfig, WorkloadConfig
+from repro.scope.engine import ScopeEngine
+from repro.workload.generator import build_workload
 
 from benchmarks.conftest import record
 
@@ -53,6 +55,73 @@ def _run_pipeline(cache_enabled: bool):
     reports = advisor.simulate(start_day=6, days=4, learned_after=1)
     elapsed = time.perf_counter() - start
     return advisor, reports, elapsed
+
+
+def _run_fragment_workload(fragment_enabled: bool):
+    """Compile a shared-subtree workload with the fragment store on/off."""
+    config = dataclasses.replace(
+        SimulationConfig(seed=31),
+        workload=WorkloadConfig(
+            num_templates=14,
+            num_tables=10,
+            manual_hint_fraction=0.0,
+            shared_subtree_fraction=0.7,
+            shared_subtree_pool=3,
+        ),
+        cache=CacheConfig(fragment_enabled=fragment_enabled),
+    )
+    workload = build_workload(config)
+    engine = ScopeEngine(workload.catalog, config, workload.registry)
+    costs = []
+    for day in range(2):
+        for job in workload.jobs_for_day(day):
+            costs.append(round(engine.compile_job(job).est_cost, 9))
+        engine.compilation.checkpoint()
+    return engine.compilation.stats, costs
+
+
+def test_fragment_cache_cuts_optimizer_work():
+    """Templates sharing a join block must share its exploration."""
+    frag_stats, frag_costs = _run_fragment_workload(True)
+    base_stats, base_costs = _run_fragment_workload(False)
+
+    # transparent: identical plans and costs with the fragment store on/off
+    assert frag_costs == base_costs
+    # ...and identical whole-script cache accounting
+    assert frag_stats.core() == base_stats.core()
+    # strictly less optimizer work (rule applications are the machine-time
+    # proxy: a fragment hit skips the whole isolated sub-search)
+    assert frag_stats.fragment_hits > 0
+    assert frag_stats.rule_applications < base_stats.rule_applications
+
+    saved = 1.0 - frag_stats.rule_applications / base_stats.rule_applications
+    record(
+        "compilation service — fragment cache on vs. off (shared-subtree workload)",
+        [
+            ComparisonRow(
+                "rule applications (fragments on / off)",
+                "fewer with fragment reuse",
+                f"{frag_stats.rule_applications} / "
+                f"{base_stats.rule_applications} ({saved:.0%} saved)",
+                holds=frag_stats.rule_applications < base_stats.rule_applications,
+            ),
+            ComparisonRow(
+                "fragment hit rate (sub-plan granularity)",
+                "> 0 (cross-template join reuse)",
+                f"{frag_stats.fragment_hit_rate:.0%} "
+                f"({frag_stats.fragment_hits} hits / "
+                f"{frag_stats.fragment_misses} misses)",
+                holds=frag_stats.fragment_hits > 0,
+            ),
+            ComparisonRow(
+                "plans, costs and whole-script accounting",
+                "identical",
+                "identical across the ablation",
+                holds=frag_costs == base_costs
+                and frag_stats.core() == base_stats.core(),
+            ),
+        ],
+    )
 
 
 def test_compile_cache_speedup(benchmark):

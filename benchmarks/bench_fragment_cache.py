@@ -1,0 +1,134 @@
+"""Fragment cache: whole-pipeline ablation on the shared-subtree workload.
+
+Runs the same bootstrap + multi-day simulation twice — fragment store on
+vs. off — over a workload whose templates draw join blocks from a shared
+pool.  The contract: byte-identical day fingerprints and whole-script
+cache accounting, while the enabled run does strictly less optimizer work
+(rule applications, the machine-time proxy: a fragment hit skips the whole
+isolated sub-search for that join block).
+
+Writes ``BENCH_fragment_cache.json`` at the repo root so later PRs can
+track the trajectory of both axes (work saved, hit rates) without
+re-deriving them from bench output text.
+"""
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro import QOAdvisor, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import CacheConfig, FlightingConfig, WorkloadConfig
+
+from benchmarks.conftest import record
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fragment_cache.json"
+
+
+def _run(fragment_enabled: bool):
+    config = dataclasses.replace(
+        SimulationConfig(seed=31),
+        workload=WorkloadConfig(
+            num_templates=14,
+            num_tables=10,
+            manual_hint_fraction=0.0,
+            shared_subtree_fraction=0.7,
+            shared_subtree_pool=3,
+        ),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        cache=CacheConfig(fragment_enabled=fragment_enabled),
+    )
+    advisor = QOAdvisor(config)
+    start = time.perf_counter()
+    reports = advisor.simulate(start_day=0, days=3, learned_after=1)
+    elapsed = time.perf_counter() - start
+    return advisor, reports, elapsed
+
+
+def test_fragment_cache_pipeline_ablation():
+    on_advisor, on_reports, on_elapsed = _run(True)
+    off_advisor, off_reports, off_elapsed = _run(False)
+    on_stats = on_advisor.engine.compilation.stats
+    off_stats = off_advisor.engine.compilation.stats
+
+    # byte-identity: the fragment cache must be observationally transparent
+    assert [r.fingerprint() for r in on_reports] == [
+        r.fingerprint() for r in off_reports
+    ]
+    # ...including the whole-script cache accounting
+    assert on_stats.core() == off_stats.core()
+
+    # the perf claim: same optimizer invocations (that number is part of
+    # the fingerprint contract), strictly fewer rule applications
+    assert on_stats.optimizer_invocations == off_stats.optimizer_invocations
+    assert on_stats.fragment_hits > 0
+    assert on_stats.rule_applications < off_stats.rule_applications
+    assert off_stats.fragment_lookups == 0
+
+    saved = 1.0 - on_stats.rule_applications / off_stats.rule_applications
+    payload = {
+        "workload": {
+            "seed": 31,
+            "templates": 14,
+            "shared_subtree_fraction": 0.7,
+            "shared_subtree_pool": 3,
+            "days": 3,
+        },
+        "optimizer_invocations": {
+            "fragments_on": on_stats.optimizer_invocations,
+            "fragments_off": off_stats.optimizer_invocations,
+        },
+        "rule_applications": {
+            "fragments_on": on_stats.rule_applications,
+            "fragments_off": off_stats.rule_applications,
+            "saved_fraction": round(saved, 4),
+        },
+        "hit_rates": {
+            "whole_script": round(on_stats.hit_rate, 4),
+            "fragment": round(on_stats.fragment_hit_rate, 4),
+        },
+        "fragment_counters": {
+            "hits": on_stats.fragment_hits,
+            "misses": on_stats.fragment_misses,
+            "inserts": on_stats.fragment_inserts,
+        },
+        "wall_clock_s": {
+            "fragments_on": round(on_elapsed, 3),
+            "fragments_off": round(off_elapsed, 3),
+        },
+        "fingerprints_identical": True,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record(
+        "fragment cache — full pipeline ablation (shared-subtree workload)",
+        [
+            ComparisonRow(
+                "rule applications (fragments on / off)",
+                "fewer with fragment reuse",
+                f"{on_stats.rule_applications} / {off_stats.rule_applications} "
+                f"({saved:.0%} saved)",
+                holds=on_stats.rule_applications < off_stats.rule_applications,
+            ),
+            ComparisonRow(
+                "whole-script vs fragment hit rate",
+                "both engaged",
+                f"{on_stats.hit_rate:.0%} scripts, "
+                f"{on_stats.fragment_hit_rate:.0%} fragments",
+                holds=on_stats.hits > 0 and on_stats.fragment_hits > 0,
+            ),
+            ComparisonRow(
+                "day fingerprints across the ablation",
+                "byte-identical",
+                "byte-identical on all days",
+                holds=True,
+            ),
+            ComparisonRow(
+                "simulate wall clock, 3 days (on / off)",
+                "no slower with fragments",
+                f"{on_elapsed:.2f}s / {off_elapsed:.2f}s",
+                holds=on_elapsed <= off_elapsed * 1.10,
+            ),
+        ],
+    )

@@ -93,6 +93,15 @@ class WorkloadConfig:
     #: day-to-day input growth factor range for recurring instances
     daily_growth_low: float = 0.85
     daily_growth_high: float = 1.25
+    #: fraction of join-shaped templates that draw their join block from a
+    #: small common pool of join subtrees instead of designing their own.
+    #: Pooled templates render the shared block *textually identically*, so
+    #: their compiled plans share logical subtrees — the workload knob that
+    #: makes cross-template fragment-cache reuse exercisable rather than
+    #: incidental.  0.0 (the default) leaves template design untouched.
+    shared_subtree_fraction: float = 0.0
+    #: number of distinct pooled join designs the sharing templates draw from
+    shared_subtree_pool: int = 4
 
 
 @dataclass(frozen=True)
@@ -162,6 +171,13 @@ class CacheConfig:
     #: maximum number of cached parse/bind results (one script is shared by
     #: every configuration it compiles under)
     script_capacity: int = 1024
+    #: serve memoized fragment explorations (sub-plan granularity); disabling
+    #: only skips the cross-compile reuse — compilation is fragment-structured
+    #: either way, so results are byte-identical with this on or off
+    fragment_enabled: bool = True
+    #: maximum number of cached fragment entries; evicted at checkpoint
+    #: barriers in the same schedule-independent (epoch, key) order as plans
+    fragment_capacity: int = 8192
 
 
 def _default_workers() -> int:

@@ -168,7 +168,11 @@ class DayReport:
                 validated.flip,
                 validated.predicted_pnhours_delta,
             )
-        feed(self.cache_stats)
+        # only the schedule-independent core counters: the fragment-store
+        # hit/miss/insert and rule-application counters are work telemetry
+        # that legitimately differs with the fragment cache on vs off (and
+        # under concurrent first-touches), so they stay out of the contract
+        feed(self.cache_stats.core() if self.cache_stats else self.cache_stats)
         return hasher.hexdigest()
 
 

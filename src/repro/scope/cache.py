@@ -62,7 +62,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.scope.jobs import JobInstance
     from repro.scope.optimizer.engine import OptimizationResult
 
-__all__ = ["CacheStats", "PlanCache", "CompileRequest", "CompilationService"]
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "FragmentCache",
+    "FragmentView",
+    "CompileRequest",
+    "CompilationService",
+]
 
 
 @dataclass
@@ -84,6 +91,23 @@ class CacheStats:
     script_compilations: int = 0
     #: requests folded into an identical sibling inside one compile_many batch
     dedup_hits: int = 0
+    #: fragment-store lookups served from the store (sub-plan reuse).
+    #: Fragment counters measure *work saved*, not decisions: under
+    #: concurrent compiles two threads may both miss a fresh fragment
+    #: (both then insert the identical pure-function entry), so these
+    #: three counters are schedule-shaped and excluded from
+    #: ``DayReport.fingerprint()`` — unlike the whole-script counters
+    #: above, which stay schedule-independent
+    fragment_hits: int = 0
+    #: fragment-store lookups that ran the isolated sub-search
+    fragment_misses: int = 0
+    #: fragment entries inserted into the store
+    fragment_inserts: int = 0
+    #: transformation-rule applications actually executed (isolated
+    #: fragment searches plus residual exploration) — the machine-time
+    #: proxy the fragment cache shrinks; excluded from fingerprints for
+    #: the same reason as the fragment counters
+    rule_applications: int = 0
 
     @property
     def lookups(self) -> int:
@@ -92,6 +116,33 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def fragment_lookups(self) -> int:
+        return self.fragment_hits + self.fragment_misses
+
+    @property
+    def fragment_hit_rate(self) -> float:
+        lookups = self.fragment_lookups
+        return self.fragment_hits / lookups if lookups else 0.0
+
+    def core(self) -> tuple:
+        """The schedule-independent counters, as a plain tuple.
+
+        This is what ``DayReport.fingerprint()`` feeds: whole-script cache
+        accounting is part of the cross-topology determinism contract,
+        while the fragment/work counters above are diagnostics that may
+        differ between schedules (and between fragment cache on and off).
+        """
+        return (
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.invalidations,
+            self.optimizer_invocations,
+            self.script_compilations,
+            self.dedup_hits,
+        )
 
     def snapshot(self) -> "CacheStats":
         """An immutable-by-convention copy (use with ``-`` for deltas)."""
@@ -106,6 +157,10 @@ class CacheStats:
             optimizer_invocations=self.optimizer_invocations - other.optimizer_invocations,
             script_compilations=self.script_compilations - other.script_compilations,
             dedup_hits=self.dedup_hits - other.dedup_hits,
+            fragment_hits=self.fragment_hits - other.fragment_hits,
+            fragment_misses=self.fragment_misses - other.fragment_misses,
+            fragment_inserts=self.fragment_inserts - other.fragment_inserts,
+            rule_applications=self.rule_applications - other.rule_applications,
         )
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
@@ -118,6 +173,10 @@ class CacheStats:
             optimizer_invocations=self.optimizer_invocations + other.optimizer_invocations,
             script_compilations=self.script_compilations + other.script_compilations,
             dedup_hits=self.dedup_hits + other.dedup_hits,
+            fragment_hits=self.fragment_hits + other.fragment_hits,
+            fragment_misses=self.fragment_misses + other.fragment_misses,
+            fragment_inserts=self.fragment_inserts + other.fragment_inserts,
+            rule_applications=self.rule_applications + other.rule_applications,
         )
 
 
@@ -234,6 +293,159 @@ class PlanCache:
 
 
 @dataclass
+class _FragmentSlot:
+    """One resident fragment entry plus its epoch-granular recency stamp."""
+
+    entry: object
+    last_epoch: int = 0
+
+
+class FragmentCache:
+    """Bounded store of fragment entries, keyed by sub-plan content.
+
+    Sits beside :class:`PlanCache` with the same determinism scheme: keys
+    bake in every input the entry depends on — the fragment's bottom-up
+    sha256 digest, the rule-configuration bits/size, the catalog version
+    and the hint generation — so a stale entry is unreachable by
+    construction; recency is epoch-granular and capacity is enforced only
+    at :meth:`checkpoint` barriers in ``(last_epoch, key)`` order, so the
+    resident set never depends on worker schedules.  A generation bump
+    (SIS hint installation, catalog mutation) additionally clears the
+    store eagerly, exactly like the plan cache.
+
+    Fragment hit/miss/insert counters are *work* accounting, not decision
+    accounting: concurrent first-touches of the same fragment may both
+    count a miss (both compute the identical pure-function entry; the
+    insert is first-wins), so the counters live outside the fingerprint
+    contract while the resident key set stays schedule-independent.
+    """
+
+    def __init__(self, capacity: int, stats: CacheStats | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(
+                f"fragment cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        self.generation = 0
+        self.epoch = 0
+        self._entries: dict[tuple, _FragmentSlot] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def view(
+        self, config: RuleConfiguration, catalog_version: int, lock: threading.RLock
+    ) -> "FragmentView":
+        """A per-compile facade with the key context baked in."""
+        return FragmentView(self, config, catalog_version, lock)
+
+    def key_for(
+        self, digest: bytes, config: RuleConfiguration, catalog_version: int
+    ) -> tuple:
+        return (digest, config.bits, config.size, catalog_version, self.generation)
+
+    def get(self, key: tuple) -> object | None:
+        slot = self._entries.get(key)
+        if slot is None:
+            self.stats.fragment_misses += 1
+            return None
+        slot.last_epoch = self.epoch  # idempotent within the epoch
+        self.stats.fragment_hits += 1
+        return slot.entry
+
+    def put(self, key: tuple, entry: object) -> bool:
+        """Insert unless resident (first wins — entries are pure values)."""
+        if key in self._entries:
+            return False
+        self._entries[key] = _FragmentSlot(entry, self.epoch)
+        self.stats.fragment_inserts += 1
+        return True
+
+    def checkpoint(self) -> int:
+        """Enforce capacity in ``(last_epoch, key)`` order; advance the epoch."""
+        evicted = 0
+        if len(self._entries) > self.capacity:
+            overflow = len(self._entries) - self.capacity
+            victims = sorted(
+                self._entries, key=lambda key: (self._entries[key].last_epoch, key)
+            )[:overflow]
+            for key in victims:
+                del self._entries[key]
+            evicted = len(victims)
+        self.epoch += 1
+        return evicted
+
+    def bump_generation(self) -> None:
+        """Invalidate every fragment (new hint generation / catalog version)."""
+        self.generation += 1
+        self._entries.clear()
+
+    # -- entry migration (elastic rebalancing) --------------------------------
+
+    def export_keys(self, base_keys: "Iterable[tuple]") -> dict[tuple, object]:
+        """Resident entries for generation-free ``base_keys``.
+
+        Entries are *copied by reference*, not removed: a fragment shared
+        with scripts staying on this shard keeps serving them.  Base keys
+        (digest, bits, size, catalog version) exclude the generation — a
+        per-store counter the importer re-binds on adoption.
+        """
+        exported: dict[tuple, object] = {}
+        for base_key in base_keys:
+            slot = self._entries.get(base_key + (self.generation,))
+            if slot is not None:
+                exported[base_key] = slot.entry
+        return exported
+
+    def adopt(self, base_key: tuple, entry: object) -> bool:
+        """Insert a migrated entry under this store's current generation."""
+        key = base_key + (self.generation,)
+        if key in self._entries:
+            return False
+        self._entries[key] = _FragmentSlot(entry, self.epoch)
+        return True
+
+
+class FragmentView:
+    """One compile's window onto the fragment store.
+
+    Binds the rule configuration and catalog version (and, transitively,
+    the store's hint generation) into every key, and funnels access
+    through the compilation service's lock — the optimizer only ever sees
+    ``get``/``put``/``key`` over raw subtree digests.
+    """
+
+    def __init__(
+        self,
+        cache: FragmentCache,
+        config: RuleConfiguration,
+        catalog_version: int,
+        lock: threading.RLock,
+    ) -> None:
+        self._cache = cache
+        self._config = config
+        self._catalog_version = catalog_version
+        self._lock = lock
+
+    def key(self, digest: bytes) -> tuple:
+        """The migration-portable key (generation deliberately excluded)."""
+        return (digest, self._config.bits, self._config.size, self._catalog_version)
+
+    def get(self, digest: bytes):
+        with self._lock:
+            return self._cache.get(
+                self._cache.key_for(digest, self._config, self._catalog_version)
+            )
+
+    def put(self, digest: bytes, entry: object) -> None:
+        with self._lock:
+            self._cache.put(
+                self._cache.key_for(digest, self._config, self._catalog_version), entry
+            )
+
+
+@dataclass
 class _InFlightCompile:
     """A miss currently being compiled by a leader thread.
 
@@ -263,6 +475,11 @@ class CompilationService:
         self.config = config if config is not None else CacheConfig()
         self.stats = CacheStats()
         self.cache = PlanCache(self.config.capacity, self.stats)
+        #: sub-plan memoization: isolated fragment explorations keyed by
+        #: content digest × configuration × catalog version × generation.
+        #: Always constructed; ``config.fragment_enabled`` gates whether
+        #: compiles get a view of it (the ablation knob for benchmarks)
+        self.fragments = FragmentCache(self.config.fragment_capacity, self.stats)
         # parse/bind results are configuration-independent: one script feeds
         # every probe/flip configuration it is optimized under.  This memo
         # stays active even with the plan cache disabled — ``enabled`` is the
@@ -271,6 +488,12 @@ class CompilationService:
         # checkpoints), so its accounting is schedule-independent too.
         self._scripts: dict[tuple, CompiledScript] = {}
         self._script_epochs: dict[tuple, int] = {}
+        # script-text → blake2b digest memo.  ``compile_many`` hashes every
+        # request during dedup and the same script texts recur day after
+        # day, so the digest is computed once per distinct text and reused
+        # until the next generation bump (which re-bounds the memo's size
+        # along with everything else)
+        self._digests: dict[str, bytes] = {}
         self._catalog_version = engine.catalog.version
         # one lock guards LRU mutation, the stats counters, the script memo
         # and the in-flight table; optimization itself runs outside it
@@ -314,7 +537,26 @@ class CompilationService:
         drift), so the same script text optimizes to different costs on
         different days — the catalog version makes those distinct entries.
         """
-        return self.cache.key_for(script, config) + (self.engine.catalog.version,)
+        return (
+            self._script_digest(script),
+            config.bits,
+            config.size,
+            self.engine.catalog.version,
+        )
+
+    def _script_digest(self, script: str) -> bytes:
+        """The script's cache digest, memoized per distinct text.
+
+        A pure function of the text, so a racing recompute writes the same
+        bytes — the memo needs no lock.  ``dedup_batch`` hashes every
+        request in a batch and the same templates recur daily, which made
+        this the hottest hash call in ``compile_many``.
+        """
+        digest = self._digests.get(script)
+        if digest is None:
+            digest = PlanCache.script_hash(script)
+            self._digests[script] = digest
+        return digest
 
     def _sync_catalog_version(self) -> None:
         """Drop entries made unreachable by a catalog mutation.
@@ -326,8 +568,10 @@ class CompilationService:
         if self._catalog_version != self.engine.catalog.version:
             self._catalog_version = self.engine.catalog.version
             self.cache.bump_generation()
+            self.fragments.bump_generation()
             self._scripts.clear()
             self._script_epochs.clear()
+            self._digests.clear()
 
     def dedup_batch(
         self, requests: Iterable[CompileRequest]
@@ -402,26 +646,40 @@ class CompilationService:
         ]
 
     def invalidate(self) -> None:
-        """Drop every cached plan (called by SIS when hints change)."""
+        """Drop every cached plan and fragment (called by SIS on hint change)."""
         with self._lock:
             self.cache.bump_generation()
+            self.fragments.bump_generation()
+            self._digests.clear()
 
     # -- warm-up migration (elastic rebalancing) ------------------------------
 
     def export_script_state(
-        self, script: str
-    ) -> "tuple[dict[tuple, _CacheEntry], dict[tuple, CompiledScript]]":
+        self, script: str, skip_fragments: "set[tuple] | None" = None
+    ) -> (
+        "tuple[dict[tuple, _CacheEntry], dict[tuple, CompiledScript],"
+        " dict[tuple, object]]"
+    ):
         """Remove and return this shard's cached state for ``script``.
 
-        Every plan-cache entry (all configurations) plus a copy of the
-        parse/bind memo entry.  This is how a rebalanced template's cache
-        warmth follows it to its new owner: entries *migrate* rather than
-        recompile, so no counter moves — the accounting a fingerprint
-        covers stays byte-identical to the static-topology run.
+        Every plan-cache entry (all configurations), a copy of the
+        parse/bind memo entry, and copies of the fragment entries the
+        exported plans were built from.  This is how a rebalanced
+        template's cache warmth follows it to its new owner: entries
+        *migrate* rather than recompile, so no counter moves — the
+        accounting a fingerprint covers stays byte-identical to the
+        static-topology run.
+
+        ``skip_fragments`` deduplicates the fragment payload across a
+        migration batch: base keys already shipped to the same destination
+        are omitted (and the keys exported here are added to the set), so
+        two templates sharing a join block ship its entry once.  Plans are
+        removed; fragments are only copied — a fragment may still serve
+        scripts that stay behind.
         """
         with self._lock:
             self._sync_catalog_version()
-            digest = PlanCache.script_hash(script)
+            digest = self._script_digest(script)
             plans = self.cache.extract(digest)
             skey = (digest, self.engine.catalog.version)
             scripts: dict[tuple, "CompiledScript"] = {}
@@ -429,19 +687,31 @@ class CompilationService:
                 # the memo is copied, not moved: it carries no counter and
                 # the source may still probe the script before retiring
                 scripts[skey] = self._scripts[skey]
-        return plans, scripts
+            frag_keys: set[tuple] = set()
+            for entry in plans.values():
+                if entry.result is not None:
+                    frag_keys.update(entry.result.fragment_keys)
+            if skip_fragments is not None:
+                frag_keys -= skip_fragments
+                skip_fragments |= frag_keys
+            fragments = self.fragments.export_keys(sorted(frag_keys))
+        return plans, scripts, fragments
 
     def import_script_state(
         self,
         plans: "dict[tuple, _CacheEntry]",
         scripts: "dict[tuple, CompiledScript]",
+        fragments: "dict[tuple, object] | None" = None,
     ) -> "tuple[int, dict[tuple, _CacheEntry]]":
         """Adopt state exported from another shard (cache warm-up).
 
-        Returns ``(adopted, rejected)``: entries whose key is already
+        Returns ``(adopted, rejected)``: plan entries whose key is already
         resident here (or keyed to a different catalog version) are handed
         back so the caller can return them to the source instead of
         silently dropping residency the invalidation counters would miss.
+        Fragment entries are adopt-if-absent under this store's current
+        generation — duplicates are dropped silently (they are pure values,
+        identical to the resident copy by construction).
         """
         adopted = 0
         rejected: dict[tuple, _CacheEntry] = {}
@@ -457,6 +727,10 @@ class CompilationService:
                 if skey[-1] == version and skey not in self._scripts:
                     self._scripts[skey] = compiled
                     self._script_epochs[skey] = self.cache.epoch
+            if fragments:
+                for base_key, entry in fragments.items():
+                    if base_key[-1] == version:
+                        self.fragments.adopt(base_key, entry)
         return adopted, rejected
 
     def checkpoint(self) -> None:
@@ -472,6 +746,11 @@ class CompilationService:
         """
         with self._lock:
             self.cache.checkpoint()
+            self.fragments.checkpoint()
+            if len(self._digests) > self.config.capacity:
+                # the digest memo has no recency signal (it is a pure
+                # function table); re-derive on demand after a reset
+                self._digests.clear()
             if len(self._scripts) > self.config.script_capacity:
                 overflow = len(self._scripts) - self.config.script_capacity
                 victims = sorted(
@@ -530,13 +809,21 @@ class CompilationService:
     def _compile(self, script: str, config: RuleConfiguration) -> _CacheEntry:
         with self._lock:
             self.stats.optimizer_invocations += 1
+            view = (
+                self.fragments.view(config, self.engine.catalog.version, self._lock)
+                if self.config.fragment_enabled
+                else None
+            )
         try:
             compiled = self._compiled_script(script)
             # the expensive part — cascades search — runs outside the lock,
-            # so distinct keys optimize concurrently
-            result = self.engine.optimize(compiled, config)
+            # so distinct keys optimize concurrently; fragment store access
+            # re-takes the lock per lookup inside the view
+            result = self.engine.optimize(compiled, config, fragments=view)
         except ScopeError as exc:
             return _CacheEntry(error=exc)
+        with self._lock:
+            self.stats.rule_applications += result.applications
         return _CacheEntry(result=result)
 
     def _compiled_script(self, script: str) -> "CompiledScript":
@@ -554,7 +841,7 @@ class CompilationService:
             self._sync_catalog_version()
             # binding captures TableDef objects (row counts) into Get
             # operators, so the parse/bind memo is catalog-versioned too
-            key = (PlanCache.script_hash(script), self.engine.catalog.version)
+            key = (self._script_digest(script), self.engine.catalog.version)
             compiled = self._scripts.get(key)
             if compiled is None:
                 self.stats.script_compilations += 1

@@ -110,8 +110,15 @@ class ScopeEngine:
         self,
         compiled: CompiledScript,
         config: RuleConfiguration | None = None,
+        fragments=None,
     ) -> OptimizationResult:
-        """Optimize a compiled script under ``config`` (default config if None)."""
+        """Optimize a compiled script under ``config`` (default config if None).
+
+        ``fragments`` is an optional fragment-store view (see
+        :class:`repro.scope.cache.FragmentView`) that memoizes fragment
+        explorations across compiles; without one the compile is simply
+        uncached — the result is byte-identical either way.
+        """
         optimizer = Optimizer(
             self.registry,
             config or self.default_config,
@@ -119,7 +126,7 @@ class ScopeEngine:
             cluster=self.config.cluster,
             budget=self.budget,
         )
-        return optimizer.optimize(compiled)
+        return optimizer.optimize(compiled, fragments=fragments)
 
     def compile_job(
         self,

@@ -20,7 +20,9 @@ from repro.scope.compile import CompiledScript
 from repro.scope.data import DataModel
 from repro.scope.optimizer.cardinality import CardinalityModel, GroupStats
 from repro.scope.optimizer.cost import CostModel
+from repro.scope.optimizer.fragments import FragmentEntry, fragment_digests, fragment_roots
 from repro.scope.optimizer.memo import Group, GroupExpression, Memo, Winner
+from repro.scope.plan import logical
 from repro.scope.optimizer.rules.base import (
     ImplementationRule,
     RuleCategory,
@@ -54,10 +56,46 @@ class OptimizationResult:
     signature: RuleSignature
     config: RuleConfiguration
     memo: Memo = field(repr=False, default=None)
+    #: fragment-store keys this compile consulted (digest × config ×
+    #: catalog version) — lets migration ship a script's fragments with it
+    fragment_keys: tuple = ()
+    #: transformation-rule applications actually run for this compile
+    #: (isolated fragment searches that were cache hits contribute 0) —
+    #: the machine-time proxy the fragment-cache accounting reports
+    applications: int = 0
 
     @property
     def signature_ids(self) -> frozenset[int]:
         return self.signature.rule_ids
+
+
+def _substitute_handles(
+    root: logical.LogicalOp, handles: "dict[int, Group]", memo: Memo
+) -> logical.LogicalOp:
+    """The residual tree: ``root`` with fragment roots replaced by handles.
+
+    Rebuilds only the spine above fragment roots; everything else is shared
+    by reference.  DAG-shared nodes rebuild once (memoized by identity).
+    """
+    rebuilt: dict[int, logical.LogicalOp] = {}
+
+    def rebuild(node: logical.LogicalOp) -> logical.LogicalOp:
+        cached = rebuilt.get(id(node))
+        if cached is not None:
+            return cached
+        group = handles.get(id(node))
+        if group is not None:
+            result = memo.handle(group)
+        else:
+            children = tuple(rebuild(child) for child in node.children)
+            if all(new is old for new, old in zip(children, node.children)):
+                result = node
+            else:
+                result = node.with_children(children)
+        rebuilt[id(node)] = result
+        return result
+
+    return rebuild(root)
 
 
 class Optimizer:
@@ -98,8 +136,23 @@ class Optimizer:
 
     # -- public API ---------------------------------------------------------
 
-    def optimize(self, compiled: CompiledScript) -> OptimizationResult:
-        """Optimize a compiled job; raises OptimizationError on failure."""
+    def optimize(
+        self, compiled: CompiledScript, fragments=None
+    ) -> OptimizationResult:
+        """Optimize a compiled job; raises OptimizationError on failure.
+
+        Compilation is *fragment-structured*: the normalized plan is split
+        into maximal join-rooted fragments plus a residual top.  Each
+        fragment is explored to completion in an isolated memo — a pure
+        function of (subtree, rule configuration, catalog version) — and
+        its closure is adopted into the main memo; the residual then
+        explores against the fully adopted fragment groups.  ``fragments``
+        (a :class:`~repro.scope.cache.FragmentView`, or None) memoizes the
+        isolated searches across compiles: a hit replays a stored entry
+        instead of re-exploring, and because hit and miss adopt
+        bit-identical entries through identical code, results do not
+        depend on cache state, worker schedule, or shard topology.
+        """
         signature_ids: set[int] = set()
         root = self._normalize(compiled, signature_ids)
 
@@ -109,11 +162,32 @@ class Optimizer:
             max_exprs_per_group=self.budget.max_exprs_per_group,
             max_total_exprs=self.budget.max_total_exprs,
         )
+
+        applications = 0
+        fragment_keys: list = []
+        handles: dict[int, Group] = {}
+        frag_nodes = fragment_roots(root)
+        if frag_nodes:
+            digests = fragment_digests(frag_nodes)
+            for node in frag_nodes:
+                digest = digests[id(node)]
+                entry = None
+                if fragments is not None:
+                    entry = fragments.get(digest)
+                    fragment_keys.append(fragments.key(digest))
+                if entry is None:
+                    entry = self._explore_fragment(node, cardinality)
+                    applications += entry.applications
+                    if fragments is not None:
+                        fragments.put(digest, entry)
+                handles[id(node)] = memo.adopt_entry(entry)
+            root = _substitute_handles(root, handles, memo)
+
         root_group = memo.insert_tree(root)
         if root_group is None:
             raise OptimizationError("initial plan exceeded the memo budget")
 
-        self._explore(memo)
+        applications += self._explore(memo)
         self._implement(memo)
 
         required = PhysProps.any()
@@ -131,24 +205,66 @@ class Optimizer:
             signature=signature,
             config=self.config,
             memo=memo,
+            fragment_keys=tuple(fragment_keys),
+            applications=applications,
         )
 
     # -- phases ------------------------------------------------------------
 
     def _normalize(self, compiled: CompiledScript, signature_ids: set[int]):
+        """Normalize ``compiled.root``, memoized per CompiledScript.
+
+        Normalization rules are never configuration-filtered, so the
+        normalized root (and the set of rule ids that changed it) is a pure
+        function of the script under one registry — each flip/probe
+        configuration re-normalizing the same parse was wasted work.  The
+        memo rides the CompiledScript object, which the compilation
+        service already keys by (script digest, catalog version); a
+        concurrent race at worst recomputes the same value.
+        """
+        cached = getattr(compiled, "_norm_cache", None)
+        if cached is not None and cached[0] is self.registry:
+            signature_ids.update(cached[2])
+            return cached[1]
         root = compiled.root
+        changed_ids: set[int] = set()
         for _ in range(5):
             changed_any = False
             for rule in self._normalization:
                 root, changed = rule.normalize(root, compiled.origins)
                 if changed:
-                    signature_ids.add(rule.rule_id)
+                    changed_ids.add(rule.rule_id)
                     changed_any = True
             if not changed_any:
                 break
+        compiled._norm_cache = (self.registry, root, frozenset(changed_ids))
+        signature_ids.update(changed_ids)
         return root
 
-    def _explore(self, memo: Memo) -> None:
+    def _explore_fragment(
+        self, node: logical.LogicalOp, cardinality: CardinalityModel
+    ) -> FragmentEntry:
+        """Explore one fragment subtree in an isolated memo; export it.
+
+        The sub-search gets its own memo and its own transformation budget,
+        so its outcome depends on nothing but the subtree, the enabled
+        rule set and the catalog version — the invariant that makes its
+        exported entry reusable across compiles (and across scripts: rules
+        read operator structure, never group stats, so the closure is
+        identical under any column-origin map).
+        """
+        sub = Memo(
+            cardinality,
+            max_exprs_per_group=self.budget.max_exprs_per_group,
+            max_total_exprs=self.budget.max_total_exprs,
+        )
+        root_group = sub.insert_tree(node)
+        if root_group is None:
+            raise OptimizationError("fragment exceeded the memo budget")
+        applications = self._explore(sub)
+        return sub.export_entry(root_group, applications)
+
+    def _explore(self, memo: Memo) -> int:
         worklist: deque[GroupExpression] = deque(memo.drain_journal())
         applications = 0
         while worklist and applications < self.budget.max_transformations:
@@ -169,6 +285,7 @@ class Optimizer:
                 worklist.extend(memo.drain_journal())
                 if applications >= self.budget.max_transformations:
                     break
+        return applications
 
     def _implement(self, memo: Memo) -> None:
         for group in memo.groups:

@@ -1,0 +1,113 @@
+"""Fragment identity and portable fragment entries.
+
+A *fragment* is a maximal join-rooted subtree of the normalized logical
+plan: walking down from the root, the first ``Join`` met on each path roots
+one fragment, and everything beneath it (the whole join block) belongs to
+that fragment.  Join blocks are where the cascades search spends its
+budget, and — with templates drawing from a shared pool of join subtrees —
+they are exactly the part of the plan different templates have in common.
+
+Fragments get content-addressed identities in the style of wombat's
+``BaseNode.hash``: a sha256 over the operator's own properties
+(:meth:`local_key`) chained with the digests of its children, computed
+bottom-up and memoized per node object so shared DAG rowsets hash once.
+
+A :class:`FragmentEntry` is the *portable closure* of one isolated
+fragment exploration: every logical expression the search created, in
+creation order, with operators referenced by child slots rather than memo
+group objects.  Re-adopting an entry replays those expressions through a
+fresh memo's interning (:meth:`~repro.scope.optimizer.memo.Memo.adopt_entry`),
+which re-derives group statistics with the adopting compile's cardinality
+model — entries carry structure and provenance only, never stats, so one
+entry is safely shared between scripts whose column-origin maps differ.
+
+Determinism: exploring a fragment in an isolated memo is a pure function
+of (subtree, rule configuration, catalog version).  Both the cache-hit and
+cache-miss paths adopt a bit-identical entry through identical replay
+code, which is what keeps ``DayReport.fingerprint()`` byte-identical with
+the fragment cache on, off, and at any worker or shard count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.scope.plan import logical
+
+__all__ = ["FragmentEntry", "fragment_roots", "fragment_digests"]
+
+
+@dataclass(frozen=True)
+class FragmentEntry:
+    """The portable result of one isolated fragment exploration.
+
+    ``exprs`` holds every logical expression the search created, in
+    creation order: ``(local_group_id, op, child_local_group_ids,
+    provenance)``.  Group ids are local to the isolated memo the entry was
+    exported from; adoption maps them onto the adopting memo's groups.
+    Entries are immutable and shared by reference (between shards of one
+    process and between the cache and live memos) — replay only reads.
+    """
+
+    exprs: tuple[tuple[int, logical.LogicalOp, tuple[int, ...], frozenset[int]], ...]
+    root_gid: int
+    #: number of groups the isolated search produced (diagnostics)
+    group_count: int
+    #: transformation-rule applications the isolated search spent building
+    #: this entry — the machine-time a cache hit saves
+    applications: int
+
+
+def fragment_roots(root: logical.LogicalOp) -> list[logical.LogicalOp]:
+    """Maximal join-rooted subtrees of ``root``, in first-visit DFS order.
+
+    The walk stops descending at each ``Join`` it meets, so fragments never
+    nest; a DAG-shared join block is reported once (first visit).  Plans
+    without joins have no fragments and compile exactly as before.
+    """
+    roots: list[logical.LogicalOp] = []
+    seen: set[int] = set()
+
+    def visit(node: logical.LogicalOp) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, logical.Join):
+            roots.append(node)
+            return
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+    return roots
+
+
+def fragment_digests(nodes: list[logical.LogicalOp]) -> dict[int, bytes]:
+    """Bottom-up sha256 digest per subtree, keyed by ``id(node)``.
+
+    Each node's digest chains its :meth:`local_key` (the same canonical
+    property string the memo interns expressions by) with its children's
+    digests, so two subtrees digest equal exactly when the memo would
+    intern them into the same groups.  Memoized by object identity: shared
+    rowsets hash once, and callers get the whole memo table back so
+    repeated fragments in one plan reuse it.
+    """
+    memo: dict[int, bytes] = {}
+
+    def digest(node: logical.LogicalOp) -> bytes:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        hasher.update(node.local_key().encode("utf-8"))
+        for child in node.children:
+            hasher.update(b"\x1f")
+            hasher.update(digest(child))
+        result = hasher.digest()
+        memo[id(node)] = result
+        return result
+
+    for node in nodes:
+        digest(node)
+    return memo

@@ -125,6 +125,11 @@ class Memo:
         #: journal of newly created logical expressions; the engine drains it
         #: to feed its exploration worklist
         self.journal: list[GroupExpression] = []
+        #: every logical expression ever inserted, in creation order — the
+        #: self-contained record :meth:`export_entry` snapshots (unlike the
+        #: journal it is never drained, so a fully explored memo can still
+        #: be exported as a fragment entry)
+        self.created: list[GroupExpression] = []
         self._intern: dict[tuple[str, tuple[int, ...]], GroupExpression] = {}
 
     def group(self, group_id: int) -> Group:
@@ -180,6 +185,7 @@ class Memo:
         self._intern[key] = expr
         self.total_exprs += 1
         self.journal.append(expr)
+        self.created.append(expr)
         return target_group
 
     def drain_journal(self) -> list[GroupExpression]:
@@ -210,6 +216,75 @@ class Memo:
         group.physical_exprs.append(expr)
         self._intern[key] = expr
         return expr
+
+    # -- fragment export / adoption ------------------------------------------
+
+    def export_entry(self, root_group: Group, applications: int):
+        """Snapshot this memo's logical closure as a portable fragment entry.
+
+        Meant for a memo that holds exactly one explored fragment (the
+        isolated sub-search of :meth:`Optimizer._explore_fragment`): every
+        logical expression, in creation order, with group references
+        reduced to this memo's local ids.  Operators and provenance sets
+        are shared by reference — both are immutable once inserted.
+        """
+        from repro.scope.optimizer.fragments import FragmentEntry
+
+        return FragmentEntry(
+            exprs=tuple(
+                (expr.group.group_id, expr.op, expr.child_ids, expr.provenance)
+                for expr in self.created
+            ),
+            root_gid=root_group.group_id,
+            group_count=len(self.groups),
+            applications=applications,
+        )
+
+    def adopt_entry(self, entry) -> Group:
+        """Replay a fragment entry into this memo; return its root's group.
+
+        Replay runs each recorded expression through the same structural
+        interning as :meth:`insert_tree`, in the entry's creation order:
+        an expression whose key is already resident folds into the
+        existing group (overlapping fragments dedup here), otherwise the
+        expression lands in the group its local id maps to, creating it —
+        with stats re-derived through *this* memo's cardinality model —
+        on first use.  Adopted expressions are deliberately **not**
+        journaled (their exploration already happened in the isolated
+        search) and do not count against ``max_total_exprs`` (the isolated
+        search enforced its own total); the per-group cap still applies so
+        adoption composes with entries already resident.  Everything here
+        is a pure function of (entry, current memo state), which is what
+        makes the cache-hit and cache-miss paths byte-identical.
+        """
+        gmap: dict[int, Group] = {}
+        for local_gid, op, child_local_ids, provenance in entry.exprs:
+            child_groups = [gmap[cid] for cid in child_local_ids]
+            child_ids = tuple(g.group_id for g in child_groups)
+            key = ("L:" + op.local_key(), child_ids)
+            existing = self._intern.get(key)
+            if existing is not None:
+                gmap.setdefault(local_gid, existing.group)
+                continue
+            group = gmap.get(local_gid)
+            if group is None:
+                stats = self.cardinality.derive(op, [g.stats for g in child_groups])
+                group = self._new_group(op.schema, stats)
+                gmap[local_gid] = group
+            elif len(group.logical_exprs) >= self.max_exprs_per_group:
+                self.dropped_exprs += 1
+                continue
+            expr = GroupExpression(
+                op=op,
+                child_ids=child_ids,
+                group=group,
+                provenance=provenance,
+                is_logical=True,
+            )
+            group.logical_exprs.append(expr)
+            self._intern[key] = expr
+            self.created.append(expr)
+        return gmap[entry.root_gid]
 
     # -- internals -----------------------------------------------------------
 

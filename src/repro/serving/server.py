@@ -853,16 +853,23 @@ class QOAdvisorServer:
         migrated = 0
         with self._hot_lock:
             scripts = {tid: self._hot_scripts.get(tid) for tid in moves}
-        for template_id, (source, dest) in moves.items():
+        # fragment payloads dedup per destination: two moved templates
+        # sharing a join block ship its fragment entry once per dest shard
+        sent_fragments: dict[int, set[tuple]] = {}
+        for template_id, (source, dest) in sorted(moves.items()):
             script = scripts.get(template_id)
             if script is None or source == dest:
                 continue
             source_service = engine.shards[source].compilation
             dest_service = engine.shards[dest].compilation
-            plans, parsed = source_service.export_script_state(script)
-            if not plans and not parsed:
+            plans, parsed, fragments = source_service.export_script_state(
+                script, skip_fragments=sent_fragments.setdefault(dest, set())
+            )
+            if not plans and not parsed and not fragments:
                 continue
-            adopted, rejected = dest_service.import_script_state(plans, parsed)
+            adopted, rejected = dest_service.import_script_state(
+                plans, parsed, fragments
+            )
             migrated += adopted
             if rejected:
                 # the destination already compiled these keys (a racing
@@ -1075,6 +1082,7 @@ class QOAdvisorServer:
             with lane.lock:
                 samples = list(lane.compile_samples)
                 last = lane.last_hint_version
+                frag = getattr(lane.engine.compilation, "stats", None)
                 shards.append(
                     ShardStats(
                         shard=lane.index,
@@ -1098,6 +1106,9 @@ class QOAdvisorServer:
                             if last is not None
                             else None
                         ),
+                        fragment_hits=frag.fragment_hits if frag else 0,
+                        fragment_misses=frag.fragment_misses if frag else 0,
+                        fragment_inserts=frag.fragment_inserts if frag else 0,
                     )
                 )
                 completed += lane.completed

@@ -79,6 +79,17 @@ class ShardStats:
     #: no skew to report), and clamped at 0 when a rollback lowered the
     #: current version below the lane's last-seen one
     hint_version_skew: int | None = None
+    #: cumulative fragment-store counters of the lane's compilation
+    #: service (sub-plan reuse across templates); work telemetry, so —
+    #: like the per-shard cache stats — excluded from day fingerprints
+    fragment_hits: int = 0
+    fragment_misses: int = 0
+    fragment_inserts: int = 0
+
+    @property
+    def fragment_hit_rate(self) -> float:
+        lookups = self.fragment_hits + self.fragment_misses
+        return self.fragment_hits / lookups if lookups else 0.0
 
     @property
     def processed(self) -> int:
@@ -146,6 +157,7 @@ class ServerStats:
                 f"{shard.completed} ok / {shard.failed} failed / "
                 f"{shard.requeued} requeued, "
                 f"steer {shard.steer_rate:.0%}, "
+                f"fragments {shard.fragment_hit_rate:.0%} hit, "
                 f"{latency}, hints {version}"
             )
         return "\n".join(lines)

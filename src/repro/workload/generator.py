@@ -139,5 +139,7 @@ def build_workload(
         config.workload.num_templates,
         config.seed,
         config.workload.recurring_fraction,
+        shared_subtree_fraction=config.workload.shared_subtree_fraction,
+        shared_subtree_pool=config.workload.shared_subtree_pool,
     )
     return Workload(catalog=catalog, templates=templates, config=config, registry=registry)

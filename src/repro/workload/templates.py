@@ -77,6 +77,9 @@ class ScriptTemplate:
         self.recurring = recurring
         self._rng = keyed_rng(seed, "template", template_id)
         self._plan = self._design()
+        #: id of the shared join-subtree pool entry this template draws its
+        #: join block from (None: the template's own design)
+        self.shared_pool: str | None = None
 
     # -- design: choose tables/columns once per template --------------------
 
@@ -140,6 +143,25 @@ class ScriptTemplate:
         if rng.random() < 0.5:
             return _FilterSpec(column, "==", 0.0, eq_value=int(stats.min_value + rng.integers(0, max(1, stats.ndv))))
         return _FilterSpec(column, "<", float(rng.uniform(0.05, 0.6)))
+
+    def adopt_join_design(self, pool_id: str, design: dict) -> None:
+        """Share a pool entry's join block (table, joins, filters).
+
+        Every rendering input of :meth:`_join_chain` is replaced, and the
+        daily wiggles depend only on the global workload seed — so two
+        templates adopting the same pool entry render byte-identical
+        extract/join/filter text for every day, which is exactly the
+        cross-template sub-plan redundancy the fragment cache exploits.
+        Output paths (and any aggregation on top) stay per-template.
+        """
+        self._plan["primary"] = design["primary"]
+        self._plan["joins"] = list(design["joins"])
+        self._plan["filter"] = design["filter"]
+        if "key_filter_fraction" in design:
+            self._plan["key_filter_fraction"] = design["key_filter_fraction"]
+        else:
+            self._plan.pop("key_filter_fraction", None)
+        self.shared_pool = pool_id
 
     # -- rendering ------------------------------------------------------------
 
@@ -405,19 +427,59 @@ class ScriptTemplate:
         )
 
 
-def make_templates(catalog: Catalog, count: int, seed: int, recurring_fraction: float) -> list[ScriptTemplate]:
-    """Draw ``count`` templates with the standard shape mix."""
+def make_templates(
+    catalog: Catalog,
+    count: int,
+    seed: int,
+    recurring_fraction: float,
+    shared_subtree_fraction: float = 0.0,
+    shared_subtree_pool: int = 4,
+) -> list[ScriptTemplate]:
+    """Draw ``count`` templates with the standard shape mix.
+
+    ``shared_subtree_fraction`` > 0 switches on cross-template sub-plan
+    redundancy: a common pool of ``shared_subtree_pool`` join designs is
+    drawn first, and each join-shaped template adopts a pool entry's join
+    block with that probability (its shape, outputs and any aggregation on
+    top stay its own).  The pool and the assignment use their own rng
+    streams, so the default ``fraction == 0`` workload is byte-identical
+    to workloads generated before the knob existed.
+    """
     rng = keyed_rng(seed, "template-mix")
     shapes = [shape for shape, _ in _SHAPE_WEIGHTS]
     weights = np.array([w for _, w in _SHAPE_WEIGHTS])
     weights = weights / weights.sum()
+    pool: list[tuple[str, dict]] = []
+    assign_rng = None
+    if shared_subtree_fraction > 0 and shared_subtree_pool > 0:
+        # hidden donor templates: each pool entry is one join design drawn
+        # from its own deterministic stream, never rendered directly
+        for pool_index in range(shared_subtree_pool):
+            donor = ScriptTemplate(
+                f"SP{pool_index:02d}",
+                f"shared_pool_{pool_index:02d}",
+                TemplateShape.JOIN,
+                catalog,
+                seed,
+            )
+            if donor._plan.get("joins"):  # nothing to share without a join block
+                pool.append((donor.template_id, donor._plan))
+        assign_rng = keyed_rng(seed, "shared-pool-assign")
     templates: list[ScriptTemplate] = []
     for index in range(count):
         shape = shapes[int(rng.choice(len(shapes), p=weights))]
         recurring = bool(rng.random() < recurring_fraction)
         template_id = f"T{index:04d}"
         name = f"{shape.value}_{index:04d}"
-        templates.append(
-            ScriptTemplate(template_id, name, shape, catalog, seed, recurring=recurring)
+        template = ScriptTemplate(
+            template_id, name, shape, catalog, seed, recurring=recurring
         )
+        if (
+            pool
+            and shape in (TemplateShape.JOIN, TemplateShape.JOIN_AGGREGATE)
+            and assign_rng.random() < shared_subtree_fraction
+        ):
+            pool_id, design = pool[int(assign_rng.integers(0, len(pool)))]
+            template.adopt_join_design(pool_id, design)
+        templates.append(template)
     return templates
