@@ -1,0 +1,167 @@
+"""Batch MQO: pre-exploration + shared physical winners, whole-pipeline.
+
+Runs the same bootstrap + multi-day simulation over the shared-subtree
+workload four ways — MQO on, MQO off, sharded (3 shards), threaded (4
+workers) — and checks the PR's two claims at once:
+
+* **work**: with transformation-masked fragment keys and batch
+  pre-exploration, total rule applications drop strictly below the PR 6
+  fragments-on baseline (65791 on this workload), and a positive share of
+  fragment compiles adopt a recorded physical winner instead of re-running
+  implementation rules;
+* **transparency**: day fingerprints are byte-identical across all four
+  schedules, and the schedule-independent cache counters (``core()``)
+  match MQO on vs. off exactly.
+
+Writes ``BENCH_mqo.json`` at the repo root so later PRs can track the
+trajectory without re-deriving it from bench output text.
+"""
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro import QOAdvisor, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import (
+    CacheConfig,
+    ExecutionConfig,
+    FlightingConfig,
+    ShardingConfig,
+    WorkloadConfig,
+)
+
+from benchmarks.conftest import record
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_mqo.json"
+
+#: rule_applications of the fragments-on run recorded by PR 6's
+#: BENCH_fragment_cache.json on this exact workload — the bar this PR's
+#: masked-key sharing must beat
+_PR6_FRAGMENTS_ON = 65791
+
+
+def _run(*, mqo: bool = True, shards: int = 1, workers: int = 1):
+    config = dataclasses.replace(
+        SimulationConfig(seed=31),
+        workload=WorkloadConfig(
+            num_templates=14,
+            num_tables=10,
+            manual_hint_fraction=0.0,
+            shared_subtree_fraction=0.7,
+            shared_subtree_pool=3,
+        ),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        cache=CacheConfig(mqo_enabled=mqo),
+        execution=ExecutionConfig(workers=workers, backend="thread"),
+        sharding=ShardingConfig(shards=shards),
+    )
+    advisor = QOAdvisor(config)
+    start = time.perf_counter()
+    reports = advisor.simulate(start_day=0, days=3, learned_after=1)
+    elapsed = time.perf_counter() - start
+    stats = advisor.engine.compilation.stats
+    stats = stats.snapshot() if hasattr(stats, "snapshot") else stats
+    advisor.close()
+    return reports, stats, elapsed
+
+
+def test_mqo_pipeline_ablation():
+    on_reports, on_stats, on_elapsed = _run(mqo=True)
+    off_reports, off_stats, off_elapsed = _run(mqo=False)
+    sharded_reports, sharded_stats, sharded_elapsed = _run(
+        mqo=True, shards=3, workers=4
+    )
+    threaded_reports, threaded_stats, threaded_elapsed = _run(mqo=True, workers=4)
+
+    # observational transparency: byte-identical fingerprints on every
+    # day, across on/off/sharded/threaded
+    fingerprints = [r.fingerprint() for r in on_reports]
+    for variant in (off_reports, sharded_reports, threaded_reports):
+        assert [r.fingerprint() for r in variant] == fingerprints
+    # ...and identical schedule-independent accounting for on vs off
+    assert on_stats.core() == off_stats.core()
+    assert on_stats.core() == threaded_stats.core()
+
+    # the work claims
+    assert on_stats.rule_applications < _PR6_FRAGMENTS_ON
+    assert on_stats.winner_hits > 0
+    assert on_stats.mqo_preexplored > 0
+    assert off_stats.mqo_preexplored == 0
+    assert sharded_stats.mqo_preexplored > 0
+    assert threaded_stats.mqo_preexplored > 0
+
+    winner_lookups = on_stats.winner_hits + on_stats.winner_misses
+    winner_hit_rate = on_stats.winner_hits / winner_lookups
+    saved = 1.0 - on_stats.rule_applications / _PR6_FRAGMENTS_ON
+    payload = {
+        "workload": {
+            "seed": 31,
+            "templates": 14,
+            "shared_subtree_fraction": 0.7,
+            "shared_subtree_pool": 3,
+            "days": 3,
+        },
+        "rule_applications": {
+            "mqo_on": on_stats.rule_applications,
+            "mqo_off": off_stats.rule_applications,
+            "pr6_fragments_on_baseline": _PR6_FRAGMENTS_ON,
+            "saved_vs_pr6_baseline": round(saved, 4),
+        },
+        "winners": {
+            "hits": on_stats.winner_hits,
+            "misses": on_stats.winner_misses,
+            "hit_rate": round(winner_hit_rate, 4),
+        },
+        "mqo_preexplored": {
+            "serial": on_stats.mqo_preexplored,
+            "sharded": sharded_stats.mqo_preexplored,
+            "threaded": threaded_stats.mqo_preexplored,
+        },
+        "wall_clock_s": {
+            "mqo_on": round(on_elapsed, 3),
+            "mqo_off": round(off_elapsed, 3),
+            "sharded": round(sharded_elapsed, 3),
+            "threaded": round(threaded_elapsed, 3),
+        },
+        "fingerprints_identical": True,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record(
+        "batch MQO — pre-exploration + shared winners (shared-subtree workload)",
+        [
+            ComparisonRow(
+                "rule applications vs PR 6 fragments-on baseline",
+                f"strictly below {_PR6_FRAGMENTS_ON}",
+                f"{on_stats.rule_applications} ({saved:.0%} below)",
+                holds=on_stats.rule_applications < _PR6_FRAGMENTS_ON,
+            ),
+            ComparisonRow(
+                "physical-winner adoption",
+                "positive hit rate",
+                f"{on_stats.winner_hits}/{winner_lookups} "
+                f"({winner_hit_rate:.0%}) costed closures replayed",
+                holds=on_stats.winner_hits > 0,
+            ),
+            ComparisonRow(
+                "fragments pre-explored (serial / sharded / threaded)",
+                "batch planner engaged on every schedule",
+                f"{on_stats.mqo_preexplored} / {sharded_stats.mqo_preexplored} / "
+                f"{threaded_stats.mqo_preexplored}",
+                holds=min(
+                    on_stats.mqo_preexplored,
+                    sharded_stats.mqo_preexplored,
+                    threaded_stats.mqo_preexplored,
+                )
+                > 0,
+            ),
+            ComparisonRow(
+                "day fingerprints on/off/sharded/threaded",
+                "byte-identical",
+                "byte-identical on all days",
+                holds=True,
+            ),
+        ],
+    )

@@ -46,7 +46,7 @@ from repro.serving import (
 from repro.sharding import ShardedScopeCluster, ShardRouter
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "QOAdvisor",

@@ -178,6 +178,12 @@ class CacheConfig:
     #: maximum number of cached fragment entries; evicted at checkpoint
     #: barriers in the same schedule-independent (epoch, key) order as plans
     fragment_capacity: int = 8192
+    #: batch MQO: pre-explore a batch's distinct fragments (ranked by
+    #: frequency × subtree size, bottom-up) before the per-script compiles
+    #: fan out, and share physical winners between compiles whose cost
+    #: context matches.  Requires ``fragment_enabled``; observationally
+    #: transparent either way (fingerprints are byte-identical on/off)
+    mqo_enabled: bool = True
 
 
 def _default_workers() -> int:

@@ -48,7 +48,7 @@ from repro.flighting.service import FlightingService
 from repro.parallel import Executor, build_executor
 from repro.personalizer.service import PersonalizerService
 from repro.rng import keyed_rng
-from repro.scope.cache import CacheStats
+from repro.scope.cache import CacheStats, CompileRequest
 from repro.scope.engine import JobRun, ScopeEngine
 from repro.scope.jobs import JobInstance
 from repro.scope.optimizer.rules.base import RuleFlip
@@ -363,6 +363,12 @@ class QOAdvisorPipeline:
         and the view is assembled in submission order afterwards.
         """
         jobs = self.workload.jobs_for_day(day)
+        # batch MQO: warm the fragment store for the day's distinct join
+        # blocks (frequency-ordered, bottom-up) before the per-job fan-out,
+        # so production compiles run against pre-explored fragments
+        self.engine.compilation.preexplore_batch(
+            [CompileRequest(job) for job in jobs], self.executor
+        )
 
         def attempt(job: JobInstance) -> JobRun | None:
             try:

@@ -46,6 +46,7 @@ steady-state bound holds at every barrier.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from dataclasses import dataclass, field, replace
@@ -108,6 +109,17 @@ class CacheStats:
     #: proxy the fragment cache shrinks; excluded from fingerprints for
     #: the same reason as the fragment counters
     rule_applications: int = 0
+    #: fragments explored by the batch planner *before* the per-script
+    #: fan-out (MQO pre-exploration); work telemetry like the fragment
+    #: counters — the per-compile lookups these warm show as fragment_hits
+    mqo_preexplored: int = 0
+    #: physical-winner lookups served from a fragment slot (the compile
+    #: replayed a recorded physical closure instead of re-running
+    #: implementation rules and costing)
+    winner_hits: int = 0
+    #: physical-winner lookups that fell through (cold slot, different
+    #: implementation bits, or a different stats context)
+    winner_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -150,33 +162,19 @@ class CacheStats:
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
-            hits=self.hits - other.hits,
-            misses=self.misses - other.misses,
-            evictions=self.evictions - other.evictions,
-            invalidations=self.invalidations - other.invalidations,
-            optimizer_invocations=self.optimizer_invocations - other.optimizer_invocations,
-            script_compilations=self.script_compilations - other.script_compilations,
-            dedup_hits=self.dedup_hits - other.dedup_hits,
-            fragment_hits=self.fragment_hits - other.fragment_hits,
-            fragment_misses=self.fragment_misses - other.fragment_misses,
-            fragment_inserts=self.fragment_inserts - other.fragment_inserts,
-            rule_applications=self.rule_applications - other.rule_applications,
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in dataclasses.fields(CacheStats)
+            }
         )
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Aggregate counters (per-shard stats sum to the cluster view)."""
         return CacheStats(
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            evictions=self.evictions + other.evictions,
-            invalidations=self.invalidations + other.invalidations,
-            optimizer_invocations=self.optimizer_invocations + other.optimizer_invocations,
-            script_compilations=self.script_compilations + other.script_compilations,
-            dedup_hits=self.dedup_hits + other.dedup_hits,
-            fragment_hits=self.fragment_hits + other.fragment_hits,
-            fragment_misses=self.fragment_misses + other.fragment_misses,
-            fragment_inserts=self.fragment_inserts + other.fragment_inserts,
-            rule_applications=self.rule_applications + other.rule_applications,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclasses.fields(CacheStats)
+            }
         )
 
 
@@ -240,6 +238,15 @@ class PlanCache:
         self.stats.hits += 1
         return entry
 
+    def peek(self, key: tuple) -> bool:
+        """Counter-free residency check (no hit/miss, no recency stamp).
+
+        The batch planner skips pre-exploration for plan-resident units;
+        its probes must leave the schedule-independent accounting exactly
+        as a run without pre-exploration would.
+        """
+        return key in self._entries
+
     def put(self, key: tuple, entry: _CacheEntry) -> None:
         entry.last_epoch = self.epoch
         self._entries[key] = entry
@@ -294,10 +301,35 @@ class PlanCache:
 
 @dataclass
 class _FragmentSlot:
-    """One resident fragment entry plus its epoch-granular recency stamp."""
+    """One resident fragment entry plus its epoch-granular recency stamp.
+
+    ``winners`` holds the slot's physical-winner entries keyed by
+    ``(implementation-masked bits, stats digest)`` — the cost context a
+    recorded physical closure is valid under.  Winners ride their slot:
+    they are evicted, invalidated and migrated with the logical entry,
+    never on their own.
+    """
 
     entry: object
     last_epoch: int = 0
+    winners: dict = field(default_factory=dict)
+    #: inserted by batch pre-exploration and not yet demanded by a compile.
+    #: The first demand ``get`` of a prefetched slot counts as a *miss* —
+    #: what the compile would have experienced without MQO — so the
+    #: fragment hit/miss/insert counters stay schedule-invariant whether a
+    #: fragment was warmed up front (batch day) or explored inline on
+    #: first demand (serving lanes, where plans are already resident when
+    #: the maintenance window's pre-explore pass runs).
+    prefetched: bool = False
+
+
+@dataclass(frozen=True)
+class _FragmentExport:
+    """Migration payload for one fragment slot: entry + winner map copy."""
+
+    entry: object
+    winners: dict
+    prefetched: bool = False
 
 
 class FragmentCache:
@@ -335,15 +367,31 @@ class FragmentCache:
         return len(self._entries)
 
     def view(
-        self, config: RuleConfiguration, catalog_version: int, lock: threading.RLock
+        self,
+        config: RuleConfiguration,
+        catalog_version: int,
+        lock: threading.RLock,
+        *,
+        trans_mask: int | None = None,
+        impl_mask: int | None = None,
     ) -> "FragmentView":
-        """A per-compile facade with the key context baked in."""
-        return FragmentView(self, config, catalog_version, lock)
+        """A per-compile facade with the key context baked in.
 
-    def key_for(
-        self, digest: bytes, config: RuleConfiguration, catalog_version: int
-    ) -> tuple:
-        return (digest, config.bits, config.size, catalog_version, self.generation)
+        ``trans_mask``/``impl_mask`` are the registry's rule-category
+        bitmasks; with them, logical entries key on the configuration's
+        *transformation* projection (implementation-only flips share
+        entries) and winner entries key on its *implementation* projection.
+        Without masks the full bits are used — strictly coarser sharing,
+        never a correctness difference.
+        """
+        return FragmentView(
+            self,
+            config,
+            catalog_version,
+            lock,
+            trans_mask=trans_mask,
+            impl_mask=impl_mask,
+        )
 
     def get(self, key: tuple) -> object | None:
         slot = self._entries.get(key)
@@ -351,15 +399,60 @@ class FragmentCache:
             self.stats.fragment_misses += 1
             return None
         slot.last_epoch = self.epoch  # idempotent within the epoch
-        self.stats.fragment_hits += 1
+        if slot.prefetched:
+            # first demand touch of a pre-explored slot: account it as the
+            # miss the compile would have taken without MQO (the entry is
+            # still served, so the exploration work stays saved) — demand
+            # hit/miss counters are thereby prefetch-invariant
+            slot.prefetched = False
+            self.stats.fragment_misses += 1
+        else:
+            self.stats.fragment_hits += 1
         return slot.entry
 
-    def put(self, key: tuple, entry: object) -> bool:
+    def put(self, key: tuple, entry: object, *, prefetch: bool = False) -> bool:
         """Insert unless resident (first wins — entries are pure values)."""
         if key in self._entries:
             return False
-        self._entries[key] = _FragmentSlot(entry, self.epoch)
+        self._entries[key] = _FragmentSlot(entry, self.epoch, prefetched=prefetch)
         self.stats.fragment_inserts += 1
+        return True
+
+    def peek(self, key: tuple) -> bool:
+        """Counter-free residency check (the batch planner's skip probe)."""
+        return key in self._entries
+
+    # -- physical winners ------------------------------------------------------
+
+    def get_winner(self, key: tuple, winner_key: tuple) -> object | None:
+        """Winner entry for ``winner_key`` inside slot ``key``, if any.
+
+        Counted in ``winner_hits``/``winner_misses`` — work telemetry with
+        the same caveats as the fragment counters (concurrent compiles may
+        both miss a context first touched in their overlap).  A missing
+        *slot* is a winner miss too: the logical entry was evicted or
+        never cached, so there is nothing to hang a winner on.
+        """
+        slot = self._entries.get(key)
+        winner = slot.winners.get(winner_key) if slot is not None else None
+        if winner is None:
+            self.stats.winner_misses += 1
+            return None
+        slot.last_epoch = self.epoch
+        self.stats.winner_hits += 1
+        return winner
+
+    def put_winner(self, key: tuple, winner_key: tuple, winner: object) -> bool:
+        """Attach a winner entry to a resident slot (first wins).
+
+        Dropped silently when the slot is gone — a winner without its
+        logical entry is unusable, and re-inserting the slot here would
+        resurrect content the eviction/invalidation schedule removed.
+        """
+        slot = self._entries.get(key)
+        if slot is None or winner_key in slot.winners:
+            return False
+        slot.winners[winner_key] = winner
         return True
 
     def checkpoint(self) -> int:
@@ -388,32 +481,67 @@ class FragmentCache:
 
         Entries are *copied by reference*, not removed: a fragment shared
         with scripts staying on this shard keeps serving them.  Base keys
-        (digest, bits, size, catalog version) exclude the generation — a
-        per-store counter the importer re-binds on adoption.
+        (digest, masked bits, size, catalog version) exclude the
+        generation — a per-store counter the importer re-binds on
+        adoption.  Each payload carries the slot's winner map (copied, so
+        later local winner inserts don't leak into an already-shipped
+        payload): a warmed destination shard serves winner hits, not just
+        logical-closure hits.
         """
         exported: dict[tuple, object] = {}
         for base_key in base_keys:
             slot = self._entries.get(base_key + (self.generation,))
             if slot is not None:
-                exported[base_key] = slot.entry
+                exported[base_key] = _FragmentExport(
+                    slot.entry, dict(slot.winners), slot.prefetched
+                )
         return exported
 
-    def adopt(self, base_key: tuple, entry: object) -> bool:
-        """Insert a migrated entry under this store's current generation."""
+    def adopt(self, base_key: tuple, payload: object) -> bool:
+        """Insert a migrated entry under this store's current generation.
+
+        Accepts a winner-carrying :class:`_FragmentExport` or a bare entry
+        (journal replays of pre-winner exports).  When the key is already
+        resident the logical entry is dropped (first wins, identical by
+        construction) but the shipped winners still merge in — two source
+        shards may have materialized different cost contexts for one
+        fragment, and each winner entry is a pure value for its key.
+        """
+        if isinstance(payload, _FragmentExport):
+            entry, winners = payload.entry, payload.winners
+            prefetched = payload.prefetched
+        else:
+            entry, winners = payload, {}
+            prefetched = False
         key = base_key + (self.generation,)
-        if key in self._entries:
+        slot = self._entries.get(key)
+        if slot is not None:
+            for winner_key, winner in winners.items():
+                slot.winners.setdefault(winner_key, winner)
             return False
-        self._entries[key] = _FragmentSlot(entry, self.epoch)
+        self._entries[key] = _FragmentSlot(
+            entry, self.epoch, dict(winners), prefetched=prefetched
+        )
         return True
 
 
 class FragmentView:
     """One compile's window onto the fragment store.
 
-    Binds the rule configuration and catalog version (and, transitively,
-    the store's hint generation) into every key, and funnels access
-    through the compilation service's lock — the optimizer only ever sees
-    ``get``/``put``/``key`` over raw subtree digests.
+    Binds the rule configuration (projected through the registry's
+    category masks), the catalog version and, transitively, the store's
+    hint generation into every key, and funnels access through the
+    compilation service's lock — the optimizer only ever sees
+    ``get``/``put``/``get_winner``/``put_winner``/``key`` over raw subtree
+    digests.
+
+    Masking is what lets configurations that differ only in
+    *implementation* bits (span probes of implementation rules, recompile
+    flips) share logical fragment entries: exploration only ever runs
+    enabled transformation rules, so the logical closure is a pure
+    function of the transformation projection.  Winner entries key on the
+    implementation projection (plus the stats digest) for the symmetric
+    reason.
     """
 
     def __init__(
@@ -422,26 +550,54 @@ class FragmentView:
         config: RuleConfiguration,
         catalog_version: int,
         lock: threading.RLock,
+        *,
+        trans_mask: int | None = None,
+        impl_mask: int | None = None,
     ) -> None:
         self._cache = cache
-        self._config = config
+        self._trans_bits = (
+            config.bits & trans_mask if trans_mask is not None else config.bits
+        )
+        self._impl_bits = (
+            config.bits & impl_mask if impl_mask is not None else config.bits
+        )
+        self._size = config.size
         self._catalog_version = catalog_version
         self._lock = lock
 
     def key(self, digest: bytes) -> tuple:
         """The migration-portable key (generation deliberately excluded)."""
-        return (digest, self._config.bits, self._config.size, self._catalog_version)
+        return (digest, self._trans_bits, self._size, self._catalog_version)
+
+    def _full_key(self, digest: bytes) -> tuple:
+        return self.key(digest) + (self._cache.generation,)
 
     def get(self, digest: bytes):
         with self._lock:
-            return self._cache.get(
-                self._cache.key_for(digest, self._config, self._catalog_version)
+            return self._cache.get(self._full_key(digest))
+
+    def put(self, digest: bytes, entry: object, *, prefetch: bool = False) -> None:
+        with self._lock:
+            self._cache.put(self._full_key(digest), entry, prefetch=prefetch)
+
+    def peek(self, digest: bytes) -> bool:
+        """Counter-free residency probe (the batch planner's skip check)."""
+        with self._lock:
+            return self._cache.peek(self._full_key(digest))
+
+    def winner_key(self, stats_digest: bytes) -> tuple:
+        return (self._impl_bits, stats_digest)
+
+    def get_winner(self, digest: bytes, stats_digest: bytes):
+        with self._lock:
+            return self._cache.get_winner(
+                self._full_key(digest), self.winner_key(stats_digest)
             )
 
-    def put(self, digest: bytes, entry: object) -> None:
+    def put_winner(self, digest: bytes, stats_digest: bytes, winner: object) -> None:
         with self._lock:
-            self._cache.put(
-                self._cache.key_for(digest, self._config, self._catalog_version), entry
+            self._cache.put_winner(
+                self._full_key(digest), self.winner_key(stats_digest), winner
             )
 
 
@@ -480,13 +636,22 @@ class CompilationService:
         #: Always constructed; ``config.fragment_enabled`` gates whether
         #: compiles get a view of it (the ablation knob for benchmarks)
         self.fragments = FragmentCache(self.config.fragment_capacity, self.stats)
+        # rule-category projections of configuration bits: fragment keys use
+        # the transformation mask (implementation-only flips share logical
+        # entries), winner keys the implementation mask
+        self._trans_mask = engine.registry.transformation_mask
+        self._impl_mask = engine.registry.implementation_mask
         # parse/bind results are configuration-independent: one script feeds
         # every probe/flip configuration it is optimized under.  This memo
         # stays active even with the plan cache disabled — ``enabled`` is the
         # plan-memoization ablation knob, and binding is deterministic.
-        # Recency follows the plan cache's epoch scheme (trimmed at
-        # checkpoints), so its accounting is schedule-independent too.
-        self._scripts: dict[tuple, CompiledScript] = {}
+        # Deterministic parse/bind *errors* are memoized in the same table
+        # (the value is the exception), so ``script_compilations`` counts a
+        # failing script once per (digest, catalog version) no matter how
+        # many configurations — or the batch planner's pre-exploration pass —
+        # touch it.  Recency follows the plan cache's epoch scheme (trimmed
+        # at checkpoints), so its accounting is schedule-independent too.
+        self._scripts: dict[tuple, CompiledScript | ScopeError] = {}
         self._script_epochs: dict[tuple, int] = {}
         # script-text → blake2b digest memo.  ``compile_many`` hashes every
         # request during dedup and the same script texts recur day after
@@ -617,6 +782,52 @@ class CompilationService:
         entry = self._lookup_or_compile(script, config)
         return entry.error if entry.error is not None else entry.result
 
+    def peek_plan(self, script: str, config: RuleConfiguration) -> bool:
+        """Counter-free plan-cache residency check for one resolved unit.
+
+        The batch planner skips pre-exploring fragments of units the plan
+        cache will serve outright; the probe must not move hit/miss
+        counters (they are part of the fingerprint contract) or recency.
+        """
+        with self._lock:
+            self._sync_catalog_version()
+            return self.cache.peek(self._key_for(script, config))
+
+    def fragment_view(self, config: RuleConfiguration) -> "FragmentView":
+        """A fragment-store view bound to ``config`` and the live catalog."""
+        return self.fragments.view(
+            config,
+            self.engine.catalog.version,
+            self._lock,
+            trans_mask=self._trans_mask,
+            impl_mask=self._impl_mask,
+        )
+
+    def preexplore_batch(
+        self,
+        requests: "Iterable[CompileRequest]",
+        executor: "Executor | None" = None,
+    ) -> int:
+        """Warm the fragment store for a batch before its compiles fan out.
+
+        The MQO pass (see :mod:`repro.scope.optimizer.mqo`): digest every
+        distinct unit's fragments up front, rank them by frequency ×
+        subtree size, and explore them bottom-up through ``executor`` so
+        the per-script compiles hit warm entries.  Returns the number of
+        fragments explored.  Observationally transparent by construction:
+        pre-exploration moves only work telemetry (fragment misses/inserts,
+        rule applications, ``mqo_preexplored``) — every schedule-independent
+        counter, and therefore every fingerprint, is byte-identical with
+        MQO on or off.
+        """
+        if not (self.config.fragment_enabled and self.config.mqo_enabled):
+            return 0
+        from repro.scope.optimizer.mqo import BatchPlanner
+
+        planner = BatchPlanner()
+        planner.add_batch(self, requests)
+        return planner.preexplore(executor)
+
     def compile_many(
         self,
         requests: Iterable[CompileRequest],
@@ -630,7 +841,12 @@ class CompilationService:
         happens — the dedup win holds even when the cache is disabled.
         With an ``executor``, the deduplicated unique requests compile in
         parallel (first-appearance order is preserved in the accounting).
+        When MQO is enabled the batch's distinct fragments are pre-explored
+        first (see :meth:`preexplore_batch`), so the fan-out runs against a
+        warm fragment store.
         """
+        requests = list(requests)
+        self.preexplore_batch(requests, executor)
         keys, unique = self.dedup_batch(requests)
         ordered = list(unique)
         if executor is None or len(ordered) <= 1:
@@ -810,9 +1026,7 @@ class CompilationService:
         with self._lock:
             self.stats.optimizer_invocations += 1
             view = (
-                self.fragments.view(config, self.engine.catalog.version, self._lock)
-                if self.config.fragment_enabled
-                else None
+                self.fragment_view(config) if self.config.fragment_enabled else None
             )
         try:
             compiled = self._compiled_script(script)
@@ -827,14 +1041,18 @@ class CompilationService:
         return _CacheEntry(result=result)
 
     def _compiled_script(self, script: str) -> "CompiledScript":
-        """Parse/bind once per distinct script (errors are not memoized).
+        """Parse/bind once per distinct script (errors memoized too).
 
         Active regardless of ``enabled``: the ablation knob measures plan
         memoization, and the seed code already shared one parse across every
-        span-probe configuration.  Runs fully under the service lock —
-        parsing is cheap next to optimization, and serializing it keeps the
-        memo and ``script_compilations`` race-free.  Capacity is enforced
-        at :meth:`checkpoint`, in the same schedule-independent
+        span-probe configuration.  Parse/bind failures are deterministic,
+        so the exception is memoized as the table value and re-raised on
+        every lookup — without this, the batch planner's pre-exploration
+        pass touching a failing script would add a ``script_compilations``
+        count a run without MQO never sees.  Runs fully under the service
+        lock — parsing is cheap next to optimization, and serializing it
+        keeps the memo and ``script_compilations`` race-free.  Capacity is
+        enforced at :meth:`checkpoint`, in the same schedule-independent
         ``(last_epoch, key)`` order as the plan cache.
         """
         with self._lock:
@@ -845,7 +1063,12 @@ class CompilationService:
             compiled = self._scripts.get(key)
             if compiled is None:
                 self.stats.script_compilations += 1
-                compiled = self.engine.compile(script)
+                try:
+                    compiled = self.engine.compile(script)
+                except ScopeError as exc:
+                    compiled = exc
                 self._scripts[key] = compiled
             self._script_epochs[key] = self.cache.epoch
+            if isinstance(compiled, ScopeError):
+                raise compiled
             return compiled

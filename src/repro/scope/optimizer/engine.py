@@ -11,6 +11,8 @@ single-rule-flip search space interesting (paper §2.2, Table 3).
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -20,8 +22,8 @@ from repro.scope.compile import CompiledScript
 from repro.scope.data import DataModel
 from repro.scope.optimizer.cardinality import CardinalityModel, GroupStats
 from repro.scope.optimizer.cost import CostModel
-from repro.scope.optimizer.fragments import FragmentEntry, fragment_digests, fragment_roots
-from repro.scope.optimizer.memo import Group, GroupExpression, Memo, Winner
+from repro.scope.optimizer.fragments import FragmentEntry, fragment_profile
+from repro.scope.optimizer.memo import Adoption, Group, GroupExpression, Memo, Winner
 from repro.scope.plan import logical
 from repro.scope.optimizer.rules.base import (
     ImplementationRule,
@@ -67,6 +69,26 @@ class OptimizationResult:
     @property
     def signature_ids(self) -> frozenset[int]:
         return self.signature.rule_ids
+
+
+def _stats_digest(adoption: "Adoption") -> bytes:
+    """Digest of the adopted groups' statistics, in local-group order.
+
+    The cost context of a fragment: every float implementation + costing
+    consumes (local costs, exchange/sort enforcer costs, child
+    cardinalities) is a pure function of these ``GroupStats`` and the
+    static cluster config, so two compiles with equal digests — and equal
+    implementation-rule bits — produce bitwise-identical physical closures
+    and winner costs.  Exact bit patterns are hashed, not rounded values:
+    winner reuse must never bridge two *almost* equal cost contexts.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for group in adoption.groups:
+        stats = group.stats
+        hasher.update(
+            struct.pack("<ddq", stats.true_rows, stats.est_rows, stats.row_width)
+        )
+    return hasher.digest()
 
 
 def _substitute_handles(
@@ -166,21 +188,23 @@ class Optimizer:
         applications = 0
         fragment_keys: list = []
         handles: dict[int, Group] = {}
-        frag_nodes = fragment_roots(root)
-        if frag_nodes:
-            digests = fragment_digests(frag_nodes)
-            for node in frag_nodes:
-                digest = digests[id(node)]
+        adoptions: list[tuple[bytes, Adoption]] = []
+        sites = fragment_profile(compiled, root)
+        if sites:
+            for site in sites:
                 entry = None
                 if fragments is not None:
-                    entry = fragments.get(digest)
-                    fragment_keys.append(fragments.key(digest))
+                    entry = fragments.get(site.digest)
+                    fragment_keys.append(fragments.key(site.digest))
                 if entry is None:
-                    entry = self._explore_fragment(node, cardinality)
+                    entry = self._explore_fragment(site.node, cardinality)
                     applications += entry.applications
                     if fragments is not None:
-                        fragments.put(digest, entry)
-                handles[id(node)] = memo.adopt_entry(entry)
+                        fragments.put(site.digest, entry)
+                adoption = memo.adopt_entry(entry)
+                handles[id(site.node)] = adoption.root
+                if fragments is not None and adoption.clean:
+                    adoptions.append((site.digest, adoption))
             root = _substitute_handles(root, handles, memo)
 
         root_group = memo.insert_tree(root)
@@ -188,6 +212,23 @@ class Optimizer:
             raise OptimizationError("initial plan exceeded the memo budget")
 
         applications += self._explore(memo)
+
+        # physical-winner reuse: a cleanly adopted fragment whose cost
+        # context (implementation bits × group stats) matches a stored
+        # winner entry replays the recorded physical closure — the
+        # implementation phase then skips those groups.  Misses export
+        # their closure after a successful compile.  Replay and recompute
+        # are bitwise-identical by construction, so this stays inside the
+        # fingerprint contract.
+        pending: list[tuple[bytes, bytes, Adoption]] = []
+        for digest, adoption in adoptions:
+            stats_digest = _stats_digest(adoption)
+            wentry = fragments.get_winner(digest, stats_digest)
+            if wentry is not None:
+                memo.adopt_winners(adoption, wentry)
+            else:
+                pending.append((digest, stats_digest, adoption))
+
         self._implement(memo)
 
         required = PhysProps.any()
@@ -198,6 +239,10 @@ class Optimizer:
             )
         cache: dict[tuple[int, PhysProps], PhysicalPlanNode] = {}
         plan = self._extract(memo, root_group, required, signature_ids, cache)
+        for digest, stats_digest, adoption in pending:
+            wentry = memo.export_winners(adoption)
+            if wentry is not None:
+                fragments.put_winner(digest, stats_digest, wentry)
         signature = RuleSignature.from_ids(signature_ids, len(self.registry))
         return OptimizationResult(
             plan=plan,
@@ -240,6 +285,20 @@ class Optimizer:
         compiled._norm_cache = (self.registry, root, frozenset(changed_ids))
         signature_ids.update(changed_ids)
         return root
+
+    def explore_fragment_entry(self, node: logical.LogicalOp, origins) -> FragmentEntry:
+        """Run one isolated fragment search outside any compile.
+
+        The batch planner's entry point: pre-exploration warms the
+        fragment store *before* the per-script fan-out, so it needs the
+        isolated sub-search — a pure function of (subtree, transformation
+        bits, catalog version) — without a surrounding memo.  ``origins``
+        is the owning script's column-origin map; it feeds group stats the
+        entry never records, so any script's origins produce the same
+        entry bytes.
+        """
+        cardinality = CardinalityModel(self.data_model, self.data_model.catalog, origins)
+        return self._explore_fragment(node, cardinality)
 
     def _explore_fragment(
         self, node: logical.LogicalOp, cardinality: CardinalityModel
@@ -289,6 +348,11 @@ class Optimizer:
 
     def _implement(self, memo: Memo) -> None:
         for group in memo.groups:
+            if group.implemented:
+                # a replayed winner entry already carries this group's full
+                # physical closure (see Memo.adopt_winners) — re-running
+                # implementation rules would only re-intern every expression
+                continue
             for expr in list(group.logical_exprs):
                 for rule in self._implementations:
                     for op in rule.build(expr, memo):

@@ -35,7 +35,14 @@ from dataclasses import dataclass
 
 from repro.scope.plan import logical
 
-__all__ = ["FragmentEntry", "fragment_roots", "fragment_digests"]
+__all__ = [
+    "FragmentEntry",
+    "WinnerEntry",
+    "FragmentSite",
+    "fragment_roots",
+    "fragment_digests",
+    "fragment_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +64,47 @@ class FragmentEntry:
     #: transformation-rule applications the isolated search spent building
     #: this entry — the machine-time a cache hit saves
     applications: int
+
+
+@dataclass(frozen=True)
+class WinnerEntry:
+    """The portable *physical* closure of one fragment exploration.
+
+    Where :class:`FragmentEntry` carries the logical search space, a winner
+    entry carries what implementation + costing made of it: every physical
+    expression of the fragment's groups (in creation order, group ids local
+    to the fragment) and every materialized ``(group, required-props)``
+    winner, with the winning expression referenced by its index into
+    ``phys_exprs``.  Valid only under the exact cost context it was
+    exported from, so the store keys it by ``(implementation-masked bits,
+    stats digest)`` *inside* the owning fragment slot — a compile whose
+    context matches replays the closure instead of re-running
+    implementation rules and re-costing; one whose context differs falls
+    back to the normal path.  Costs are recorded floats, but they are
+    bitwise-reproducible: the digest pins the exact ``GroupStats`` inputs
+    and the cost model is pure arithmetic over them.
+    """
+
+    #: ``(local_gid, physical op, child local gids, provenance)`` per expr
+    phys_exprs: tuple
+    #: ``(local_gid, required props, winner expr index | None, cost,
+    #: enforcers, delivered props, child props)`` per materialized winner —
+    #: ``None`` index records a proven "no plan under these props"
+    winners: tuple
+
+
+@dataclass(frozen=True)
+class FragmentSite:
+    """One fragment occurrence in a normalized plan, with batch metadata."""
+
+    node: logical.LogicalOp
+    digest: bytes
+    #: operator count of the subtree (the exploration-cost proxy the batch
+    #: planner weighs frequency against)
+    size: int
+    #: subtree height (the batch planner explores low fragments first —
+    #: children before parents across scripts whose fragments nest)
+    height: int
 
 
 def fragment_roots(root: logical.LogicalOp) -> list[logical.LogicalOp]:
@@ -111,3 +159,44 @@ def fragment_digests(nodes: list[logical.LogicalOp]) -> dict[int, bytes]:
     for node in nodes:
         digest(node)
     return memo
+
+
+def fragment_profile(compiled, root: logical.LogicalOp) -> "tuple[FragmentSite, ...]":
+    """Fragment sites of ``root``, memoized on the CompiledScript.
+
+    Computes roots, digests, sizes and heights once per (script, catalog
+    version): the memo rides the ``compiled`` object — which the
+    compilation service already keys by (script digest, catalog version) —
+    keyed by the normalized root's identity, the same scheme as the
+    normalization memo it composes with.  The batch planner's up-front
+    digest pass and every subsequent compile of the script read the same
+    profile instead of re-hashing the plan.
+    """
+    cached = getattr(compiled, "_frag_profile", None)
+    if cached is not None and cached[0] is root:
+        return cached[1]
+    nodes = fragment_roots(root)
+    digests = fragment_digests(nodes)
+    sizes: dict[int, int] = {}
+    heights: dict[int, int] = {}
+
+    def measure(node: logical.LogicalOp) -> tuple[int, int]:
+        known = sizes.get(id(node))
+        if known is not None:
+            return known, heights[id(node)]
+        size, height = 1, 0
+        for child in node.children:
+            child_size, child_height = measure(child)
+            size += child_size
+            height = max(height, child_height + 1)
+        sizes[id(node)] = size
+        heights[id(node)] = height
+        return size, height
+
+    sites = []
+    for node in nodes:
+        size, height = measure(node)
+        sites.append(FragmentSite(node, digests[id(node)], size, height))
+    profile = tuple(sites)
+    compiled._frag_profile = (root, profile)
+    return profile

@@ -23,7 +23,7 @@ from repro.scope.plan.physical import PhysicalOp
 from repro.scope.plan.properties import PhysProps
 from repro.scope.types import Schema
 
-__all__ = ["GroupHandle", "Group", "GroupExpression", "Winner", "Memo"]
+__all__ = ["GroupHandle", "Group", "GroupExpression", "Winner", "Adoption", "Memo"]
 
 
 class GroupHandle(logical.LogicalOp):
@@ -98,6 +98,26 @@ class Group:
             f"<Group {self.group_id} L={len(self.logical_exprs)} "
             f"P={len(self.physical_exprs)} rows~{self.stats.est_rows:.0f}>"
         )
+
+
+@dataclass
+class Adoption:
+    """The outcome of replaying one fragment entry into a memo.
+
+    ``by_local`` maps the entry's local group ids onto this memo's groups;
+    ``groups`` lists them in local-id order.  ``clean`` records whether the
+    replay created every group fresh — no structural-interning collision
+    with resident content, no per-group budget drop — which is the
+    precondition for physical-winner export/replay: only then is the
+    adopted groups' logical closure exactly the entry's, so a recorded
+    physical closure keyed on (implementation bits, stats digest) is
+    guaranteed to match what implementation + costing would rebuild.
+    """
+
+    root: "Group"
+    groups: tuple["Group", ...]
+    by_local: dict[int, "Group"]
+    clean: bool
 
 
 class Memo:
@@ -240,8 +260,8 @@ class Memo:
             applications=applications,
         )
 
-    def adopt_entry(self, entry) -> Group:
-        """Replay a fragment entry into this memo; return its root's group.
+    def adopt_entry(self, entry) -> Adoption:
+        """Replay a fragment entry into this memo; return the adoption.
 
         Replay runs each recorded expression through the same structural
         interning as :meth:`insert_tree`, in the entry's creation order:
@@ -258,6 +278,7 @@ class Memo:
         makes the cache-hit and cache-miss paths byte-identical.
         """
         gmap: dict[int, Group] = {}
+        clean = True
         for local_gid, op, child_local_ids, provenance in entry.exprs:
             child_groups = [gmap[cid] for cid in child_local_ids]
             child_ids = tuple(g.group_id for g in child_groups)
@@ -265,6 +286,7 @@ class Memo:
             existing = self._intern.get(key)
             if existing is not None:
                 gmap.setdefault(local_gid, existing.group)
+                clean = False
                 continue
             group = gmap.get(local_gid)
             if group is None:
@@ -273,6 +295,7 @@ class Memo:
                 gmap[local_gid] = group
             elif len(group.logical_exprs) >= self.max_exprs_per_group:
                 self.dropped_exprs += 1
+                clean = False
                 continue
             expr = GroupExpression(
                 op=op,
@@ -284,7 +307,98 @@ class Memo:
             group.logical_exprs.append(expr)
             self._intern[key] = expr
             self.created.append(expr)
-        return gmap[entry.root_gid]
+        return Adoption(
+            root=gmap[entry.root_gid],
+            groups=tuple(gmap[gid] for gid in sorted(gmap)),
+            by_local=gmap,
+            clean=clean,
+        )
+
+    def export_winners(self, adoption: Adoption):
+        """Snapshot a clean adoption's physical closure as a WinnerEntry.
+
+        Call after implementation and costing: records every physical
+        expression of the adopted groups (creation order, child ids mapped
+        back to entry-local ids) plus every materialized winner, including
+        proven "no plan" entries.  Returns ``None`` when any physical
+        expression references a group outside the fragment — such a
+        closure is not portable.  Winners whose required props the owning
+        compile never asked for are simply absent; a replaying compile
+        recomputes them on demand from the replayed expressions, which is
+        the identical arithmetic.
+        """
+        from repro.scope.optimizer.fragments import WinnerEntry
+
+        reverse = {group.group_id: lgid for lgid, group in adoption.by_local.items()}
+        phys: list = []
+        index: dict[int, int] = {}
+        for lgid, group in zip(sorted(adoption.by_local), adoption.groups):
+            for expr in group.physical_exprs:
+                child_lgids = []
+                for cid in expr.child_ids:
+                    local = reverse.get(cid)
+                    if local is None:
+                        return None
+                    child_lgids.append(local)
+                index[id(expr)] = len(phys)
+                phys.append((lgid, expr.op, tuple(child_lgids), expr.provenance))
+        winners: list = []
+        for lgid, group in zip(sorted(adoption.by_local), adoption.groups):
+            for props, winner in group.winners.items():
+                if winner is None:
+                    winners.append((lgid, props, None, 0.0, (), None, ()))
+                    continue
+                winners.append(
+                    (
+                        lgid,
+                        props,
+                        index[id(winner.expr)],
+                        winner.cost,
+                        winner.enforcers,
+                        winner.delivered,
+                        winner.child_props,
+                    )
+                )
+        return WinnerEntry(phys_exprs=tuple(phys), winners=tuple(winners))
+
+    def adopt_winners(self, adoption: Adoption, wentry) -> None:
+        """Replay a WinnerEntry onto a clean adoption's groups.
+
+        Adds every recorded physical expression (same dedup as
+        :meth:`add_physical`), presets the recorded winners (first-wins —
+        a pair the compile somehow already materialized is left alone) and
+        marks the groups implemented so the implementation phase skips
+        them.  Replayed costs are the floats the exporting compile
+        computed from bit-identical ``GroupStats``, so a replay is
+        observationally indistinguishable from re-running implementation
+        rules and costing — which is what keeps winner sharing inside the
+        fingerprint contract.
+        """
+        exprs = [
+            self.add_physical(
+                adoption.by_local[lgid],
+                op,
+                tuple(adoption.by_local[c].group_id for c in child_lgids),
+                provenance,
+            )
+            for lgid, op, child_lgids, provenance in wentry.phys_exprs
+        ]
+        for lgid, props, expr_index, cost, enforcers, delivered, child_props in wentry.winners:
+            group = adoption.by_local[lgid]
+            if props in group.winners:
+                continue
+            if expr_index is None:
+                group.winners[props] = None
+            else:
+                group.winners[props] = Winner(
+                    expr=exprs[expr_index],
+                    cost=cost,
+                    enforcers=enforcers,
+                    delivered=delivered,
+                    child_props=child_props,
+                )
+        for group in adoption.groups:
+            group.implemented = True
 
     # -- internals -----------------------------------------------------------
 

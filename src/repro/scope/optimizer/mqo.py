@@ -1,0 +1,193 @@
+"""Batch-aware multi-query compilation: fragment pre-exploration.
+
+The paper's production setting compiles ~100k recurring jobs a day whose
+templates overlap heavily; PR 6's fragment substrate already shares each
+join block's exploration *lazily* — the first compile to reach a fragment
+explores it, everyone later hits.  The :class:`BatchPlanner` turns that
+into classic MQO: given a batch's job list it digests every distinct
+unit's normalized plan up front, ranks the distinct fragments by
+(frequency × subtree size — the exploration-cost proxy), and explores them
+bottom-up (lower subtrees first, so a fragment that appears inside a
+larger script's fragment is warm before the larger search runs) through
+the caller's executor, warming the fragment store before the per-script
+fan-out.  The compiles then run exactly as today, now mostly pure
+fragment hits.
+
+Determinism contract: pre-exploration is observationally transparent.
+Every explored entry is the identical pure function of (subtree,
+transformation bits, catalog version) the compile-time miss path would
+build, plan-resident units are skipped through counter-free peeks, parse
+failures are memoized exactly as the compile path memoizes them, and the
+planner keeps its own dedup table instead of touching ``dedup_hits`` — so
+all schedule-independent counters, and therefore ``DayReport.fingerprint()``,
+are byte-identical with MQO on, off, sharded or threaded.  Even the
+fragment hit/miss/insert telemetry is prefetch-invariant: a pre-explored
+slot is inserted ``prefetch``-marked and its first demand lookup counts as
+the miss that compile would have taken anyway.  Only ``mqo_preexplored``
+(and the wall-clock shape of where exploration work runs) is
+schedule-dependent telemetry.
+
+This module is deliberately coupled to
+:class:`~repro.scope.cache.CompilationService` internals (its lock, its
+parse memo): the planner is the service's batch mode, not a public layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ScopeError
+from repro.scope.optimizer.engine import Optimizer
+from repro.scope.optimizer.fragments import fragment_profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import Executor
+    from repro.scope.cache import CompilationService, CompileRequest
+
+__all__ = ["BatchPlanner"]
+
+
+@dataclass
+class _FragmentTask:
+    """One distinct fragment to pre-explore, with its batch statistics."""
+
+    service: "CompilationService"
+    optimizer: Optimizer
+    node: object
+    digest: bytes
+    origins: object
+    #: service index within this planner (stable tiebreaker across shards)
+    sid: int
+    #: operator count of the subtree — the exploration-cost proxy
+    size: int
+    #: subtree height — the bottom-up wave this task explores in
+    height: int
+    #: request occurrences whose plans contain this fragment
+    frequency: int = 0
+
+    @property
+    def priority(self) -> int:
+        return self.frequency * self.size
+
+
+@dataclass
+class BatchPlanner:
+    """Frequency-ordered, bottom-up fragment pre-exploration for one batch.
+
+    Usage: one or more :meth:`add_batch` calls (one per compilation
+    service — the sharded facade adds each shard's routed slice), then one
+    :meth:`preexplore` fanning every wave through the executor.
+    """
+
+    _tasks: dict = field(default_factory=dict)
+    _optimizers: dict = field(default_factory=dict)
+    _services: list = field(default_factory=list)
+
+    def add_batch(
+        self, service: "CompilationService", requests: "Iterable[CompileRequest]"
+    ) -> int:
+        """Register a service's requests; returns distinct fragments added.
+
+        Resolves each request's configuration, skips units the plan cache
+        would serve outright (counter-free peek — pre-exploring them would
+        be pure waste), parses/normalizes the survivors through the same
+        memos the compile path uses, and folds their fragment sites into
+        the planner's task table keyed by (service, digest, transformation
+        bits, config size, catalog version) — the exact identity of a
+        fragment-store slot minus the generation.
+        """
+        engine = service.engine
+        sid = len(self._services)
+        self._services.append(service)
+        added = 0
+        for request in requests:
+            config = engine.configuration_for(
+                request.job, request.flip, use_hints=request.use_hints
+            )
+            script = request.job.script
+            if service.config.enabled and service.peek_plan(script, config):
+                continue
+            try:
+                compiled = service._compiled_script(script)
+            except ScopeError:
+                continue  # the failure is memoized; the compile path reports it
+            optimizer = self._optimizers.get((sid, config.bits))
+            if optimizer is None:
+                optimizer = Optimizer(
+                    engine.registry,
+                    config,
+                    engine.data_model,
+                    cluster=engine.config.cluster,
+                    budget=engine.budget,
+                )
+                self._optimizers[(sid, config.bits)] = optimizer
+            root = optimizer._normalize(compiled, set())
+            trans_bits = config.bits & engine.registry.transformation_mask
+            for site in fragment_profile(compiled, root):
+                key = (
+                    sid,
+                    site.digest,
+                    trans_bits,
+                    config.size,
+                    engine.catalog.version,
+                )
+                task = self._tasks.get(key)
+                if task is None:
+                    task = self._tasks[key] = _FragmentTask(
+                        service=service,
+                        optimizer=optimizer,
+                        node=site.node,
+                        digest=site.digest,
+                        origins=compiled.origins,
+                        sid=sid,
+                        size=site.size,
+                        height=site.height,
+                    )
+                    added += 1
+                task.frequency += 1
+        return added
+
+    def preexplore(self, executor: "Executor | None" = None) -> int:
+        """Explore every registered fragment; returns how many ran.
+
+        Waves run bottom-up by subtree height; within a wave, tasks order
+        by (priority descending, service, digest) — a deterministic total
+        order, so the serial and fanned-out schedules insert the same
+        entries (entries are pure values; insertion order only shapes
+        which thread pays for overlapping work).  Already-resident
+        fragments (warmed by an earlier batch or a concurrent compile) are
+        skipped via counter-free peeks.
+        """
+        explored = 0
+        by_height: dict[int, list[_FragmentTask]] = {}
+        for task in self._tasks.values():
+            by_height.setdefault(task.height, []).append(task)
+        for height in sorted(by_height):
+            wave = sorted(
+                by_height[height], key=lambda t: (-t.priority, t.sid, t.digest)
+            )
+            if executor is None or len(wave) <= 1:
+                outcomes = [self._explore_one(task) for task in wave]
+            else:
+                outcomes = executor.map_jobs(self._explore_one, wave)
+            explored += sum(outcomes)
+        return explored
+
+    def _explore_one(self, task: _FragmentTask) -> int:
+        service = task.service
+        view = service.fragment_view(task.optimizer.config)
+        if view.peek(task.digest):
+            return 0
+        entry = task.optimizer.explore_fragment_entry(task.node, task.origins)
+        with service._lock:
+            # the isolated sub-search ran here instead of inside the first
+            # compile to reach the fragment; its applications are real work,
+            # but the demand miss is deferred to that first compile's ``get``
+            # (the slot is inserted ``prefetch``-marked), keeping the fragment
+            # hit/miss counters identical whether a batch warmed the store up
+            # front or the lanes explored inline on first demand
+            service.stats.rule_applications += entry.applications
+            service.stats.mqo_preexplored += 1
+        view.put(task.digest, entry, prefetch=True)
+        return 1

@@ -91,6 +91,8 @@ class RuleRegistry:
     def __init__(self) -> None:
         self._rules: list[Rule] = []
         self._by_name: dict[str, Rule] = {}
+        self._transformation_mask: int | None = None
+        self._implementation_mask: int | None = None
 
     def register(self, rule: Rule) -> Rule:
         if rule.name in self._by_name:
@@ -98,7 +100,42 @@ class RuleRegistry:
         rule.rule_id = len(self._rules)
         self._rules.append(rule)
         self._by_name[rule.name] = rule
+        self._transformation_mask = None
+        self._implementation_mask = None
         return rule
+
+    @property
+    def transformation_mask(self) -> int:
+        """Bitmask of transformation-rule ids.
+
+        ``config.bits & transformation_mask`` is the projection of a
+        configuration onto the bits that can affect a *logical* search:
+        exploration iterates transformation rules only, and no rule reads
+        group statistics, so two configurations with equal projections
+        produce bit-identical fragment closures.  The fragment store keys
+        on this projection so implementation-only flips (span probes,
+        recompiles) share logical entries with the default configuration.
+        """
+        if self._transformation_mask is None:
+            mask = 0
+            for rule in self._rules:
+                if isinstance(rule, TransformationRule):
+                    mask |= 1 << rule.rule_id
+            self._transformation_mask = mask
+        return self._transformation_mask
+
+    @property
+    def implementation_mask(self) -> int:
+        """Bitmask of implementation-rule ids (the physical-winner analogue
+        of :attr:`transformation_mask`: equal projections mean identical
+        implementation rule sets, hence identical physical alternatives)."""
+        if self._implementation_mask is None:
+            mask = 0
+            for rule in self._rules:
+                if isinstance(rule, ImplementationRule):
+                    mask |= 1 << rule.rule_id
+            self._implementation_mask = mask
+        return self._implementation_mask
 
     def __len__(self) -> int:
         return len(self._rules)

@@ -1109,6 +1109,9 @@ class QOAdvisorServer:
                         fragment_hits=frag.fragment_hits if frag else 0,
                         fragment_misses=frag.fragment_misses if frag else 0,
                         fragment_inserts=frag.fragment_inserts if frag else 0,
+                        winner_hits=frag.winner_hits if frag else 0,
+                        winner_misses=frag.winner_misses if frag else 0,
+                        mqo_preexplored=frag.mqo_preexplored if frag else 0,
                     )
                 )
                 completed += lane.completed

@@ -85,6 +85,16 @@ class ShardStats:
     fragment_hits: int = 0
     fragment_misses: int = 0
     fragment_inserts: int = 0
+    #: physical-winner reuse and batch-MQO pre-exploration counters of the
+    #: lane's compilation service — work telemetry like the fragment trio
+    winner_hits: int = 0
+    winner_misses: int = 0
+    mqo_preexplored: int = 0
+
+    @property
+    def winner_hit_rate(self) -> float:
+        lookups = self.winner_hits + self.winner_misses
+        return self.winner_hits / lookups if lookups else 0.0
 
     @property
     def fragment_hit_rate(self) -> float:
@@ -158,6 +168,7 @@ class ServerStats:
                 f"{shard.requeued} requeued, "
                 f"steer {shard.steer_rate:.0%}, "
                 f"fragments {shard.fragment_hit_rate:.0%} hit, "
+                f"winners {shard.winner_hit_rate:.0%} hit, "
                 f"{latency}, hints {version}"
             )
         return "\n".join(lines)

@@ -258,6 +258,34 @@ class ShardedCompilationService:
         shard = self.cluster.router.shard_for(f"script:{stable_hash(script):x}")
         return self.cluster.shards[shard].compilation.compile_script(script, config)
 
+    def preexplore_batch(
+        self,
+        requests: Iterable[CompileRequest],
+        executor: "Executor | None" = None,
+    ) -> int:
+        """Cluster-wide MQO pre-exploration (see the single-shard method).
+
+        Each shard's routed slice registers with one
+        :class:`~repro.scope.optimizer.mqo.BatchPlanner`, and a single
+        bottom-up fan-out explores every shard's fragments together — one
+        executor pass keeps all workers busy across shards, mirroring
+        :meth:`compile_many`'s own fan-out shape.
+        """
+        first = self.cluster.shards[0].compilation.config
+        if not (first.fragment_enabled and first.mqo_enabled):
+            return 0
+        from repro.scope.optimizer.mqo import BatchPlanner
+
+        ordered = list(requests)
+        by_shard: dict[int, list[CompileRequest]] = {}
+        for request in ordered:
+            shard = self.cluster.router.shard_for_job(request.job)
+            by_shard.setdefault(shard, []).append(request)
+        planner = BatchPlanner()
+        for shard in sorted(by_shard):
+            planner.add_batch(self.cluster.shards[shard].compilation, by_shard[shard])
+        return planner.preexplore(executor)
+
     def compile_many(
         self,
         requests: Iterable[CompileRequest],
@@ -272,9 +300,11 @@ class ShardedCompilationService:
         ``executor.map_jobs`` call, so a balanced batch keeps every worker
         busy across shards instead of draining one shard at a time.  The
         partitioning itself is stateless, so this method is as thread-safe
-        as the underlying services.
+        as the underlying services.  With MQO enabled the batch's distinct
+        fragments are pre-explored across all shards first.
         """
         ordered = list(requests)
+        self.preexplore_batch(ordered, executor)
         by_shard: dict[int, list[int]] = {}
         for position, request in enumerate(ordered):
             shard = self.cluster.router.shard_for_job(request.job)

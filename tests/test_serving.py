@@ -430,6 +430,18 @@ def test_healthy_lane_admits_low_priority_and_slo_off_by_default():
 # -- batch parity -------------------------------------------------------------
 
 
+def _no_mqo(stats):
+    """Zero the one honestly schedule-shaped counter before comparing.
+
+    The batch day pre-explores fragments at day open; the serving lanes
+    compile everything before the maintenance window's pre-explore pass
+    runs (plan-resident units are skipped counter-free), so
+    ``mqo_preexplored`` differs by schedule while every demand-accounting
+    counter — fragment hits/misses/inserts included — stays byte-equal.
+    """
+    return dataclasses.replace(stats, mqo_preexplored=0)
+
+
 def test_serial_replay_matches_batch_run_day_single_shard():
     batch = QOAdvisor(_config(shards=1))
     baseline = batch.run_day(0)
@@ -438,8 +450,12 @@ def test_serial_replay_matches_batch_run_day_single_shard():
     )
     report = server.stream_day(0)
     assert report.fingerprint() == baseline.fingerprint()
-    assert report.cache_stats == baseline.cache_stats
-    assert report.shard_cache_stats == baseline.shard_cache_stats
+    assert _no_mqo(report.cache_stats) == _no_mqo(baseline.cache_stats)
+    assert {
+        shard: _no_mqo(stats) for shard, stats in report.shard_cache_stats.items()
+    } == {
+        shard: _no_mqo(stats) for shard, stats in baseline.shard_cache_stats.items()
+    }
     server.shutdown()
     batch.close()
 
@@ -453,7 +469,7 @@ def test_threaded_sharded_replay_matches_batch():
     )
     report = server.stream_day(0)
     assert report.fingerprint() == baseline.fingerprint()
-    assert report.cache_stats == baseline.cache_stats
+    assert _no_mqo(report.cache_stats) == _no_mqo(baseline.cache_stats)
     server.shutdown()
     batch.close()
 
