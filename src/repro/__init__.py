@@ -22,6 +22,7 @@ Quickstart::
 from repro.config import (
     CacheConfig,
     ExecutionConfig,
+    PolicyConfig,
     ServingConfig,
     ShardingConfig,
     SimulationConfig,
@@ -35,6 +36,13 @@ from repro.parallel import (
     ThreadedExecutor,
     build_executor,
 )
+from repro.policies import (
+    BanditSteeringPolicy,
+    PlanGuidedPolicy,
+    SteeringPolicy,
+    ValueModelPolicy,
+    build_policy,
+)
 from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
 from repro.serving import (
@@ -46,7 +54,7 @@ from repro.serving import (
 from repro.sharding import ShardedScopeCluster, ShardRouter
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "QOAdvisor",
@@ -55,6 +63,12 @@ __all__ = [
     "DayReport",
     "RecoveryReport",
     "ScopeEngine",
+    "SteeringPolicy",
+    "BanditSteeringPolicy",
+    "ValueModelPolicy",
+    "PlanGuidedPolicy",
+    "PolicyConfig",
+    "build_policy",
     "ServerStats",
     "TicketJournal",
     "ServingConfig",

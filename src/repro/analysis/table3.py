@@ -1,10 +1,18 @@
-"""Random vs. contextual-bandit rule flips (paper §5.6, Table 3).
+"""Random vs. learned rule flips (paper §5.6, Table 3).
 
 For the same set of steerable jobs, flip one span rule (a) uniformly at
-random and (b) by the trained contextual-bandit policy, recompile, and
-classify the estimated-cost outcome.  The paper's result: CB triples the
-lower-cost fraction, roughly halves the higher-cost fraction, reduces
-recompile failures, and cuts the workload's total estimated cost by >100×.
+random and (b) by a trained steering policy, recompile, and classify the
+estimated-cost outcome.  The paper's result (for the contextual bandit):
+CB triples the lower-cost fraction, roughly halves the higher-cost
+fraction, reduces recompile failures, and cuts the workload's total
+estimated cost by >100×.
+
+The harness is policy-agnostic: pass any
+:class:`~repro.policies.SteeringPolicy` (or a raw
+:class:`PersonalizerService`, auto-wrapped) via ``policy=``; the default
+builds the paper's CB, byte-identical to the pre-seam harness.  The
+``bandit`` column name is kept whatever policy is steered — it is "the
+learned column" of Table 3.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.features import JobFeatures
-from repro.core.recommend import actions_for_span
+from repro.core.recommend import actions_for_span, as_policy
 from repro.core.spans import SpanComputer
 from repro.errors import ScopeError
 from repro.personalizer.service import PersonalizerService
@@ -48,9 +56,12 @@ class PolicyCounts:
 @dataclass
 class Table3Result:
     random: PolicyCounts = field(default_factory=PolicyCounts)
+    #: the learned column (named for the paper's CB; holds whichever
+    #: steering policy the experiment was run with — see ``policy_name``)
     bandit: PolicyCounts = field(default_factory=PolicyCounts)
     jobs_evaluated: int = 0
     steerable_fraction: float = 0.0
+    policy_name: str = "bandit"
 
     @property
     def cost_improvement_factor(self) -> float:
@@ -72,18 +83,18 @@ def _classify(engine: ScopeEngine, compiled, default_cost: float, flip: RuleFlip
     return "equal", cost
 
 
-def _train_bandit(
+def _train_policy(
     engine: ScopeEngine,
     workload: Workload,
     spans: SpanComputer,
-    personalizer: PersonalizerService,
+    policy,
     training_days: range,
     reward_clip: float,
 ) -> None:
     """Off-policy training: uniform logging + cost-ratio rewards (§4.2)."""
     from repro.core.recommend import train_off_policy
 
-    train_off_policy(engine, workload, spans, personalizer, training_days, reward_clip)
+    train_off_policy(engine, workload, spans, policy, training_days, reward_clip)
 
 
 def run_table3_experiment(
@@ -93,19 +104,25 @@ def run_table3_experiment(
     training_days: range = range(0, 4),
     eval_days: range = range(4, 6),
     seed: int = 0,
+    policy=None,
 ) -> Table3Result:
-    """Train the CB off-policy, then face it off against random flips."""
+    """Train a steering policy off-policy, then face it off against random
+    flips.  ``policy`` defaults to a fresh CB (the paper's experiment)."""
     spans = SpanComputer(engine)
-    personalizer = PersonalizerService(
-        engine.config.bandit, seed=engine.config.seed, mode="uniform_logging"
-    )
-    _train_bandit(
-        engine, workload, spans, personalizer, training_days,
+    if policy is None:
+        policy = PersonalizerService(
+            engine.config.bandit, seed=engine.config.seed, mode="uniform_logging"
+        )
+    policy = as_policy(policy)
+    if getattr(policy, "engine", False) is None:
+        policy.bind_engine(engine)
+    _train_policy(
+        engine, workload, spans, policy, training_days,
         engine.config.bandit.reward_clip,
     )
-    personalizer.switch_mode("learned")
+    policy.switch_mode("learned")
 
-    result = Table3Result()
+    result = Table3Result(policy_name=policy.name)
     rng = keyed_rng(seed or engine.config.seed, "table3-random")
     registry = engine.registry
     total = 0
@@ -136,7 +153,7 @@ def run_table3_experiment(
             setattr(result.random, bucket, getattr(result.random, bucket) + 1)
             result.random.total_est_cost += cost if cost is not None else default_cost
 
-            # bandit policy (paper: recompile CB's pick, short-circuit if no
+            # learned policy (paper: recompile its pick, short-circuit if no
             # estimated-cost improvement — cost falls back to the default)
             try:
                 run_result = engine.compile_job(job, use_hints=False)
@@ -146,18 +163,18 @@ def run_table3_experiment(
                 continue
             features = JobFeatures(job=job, row=row, span=span)
             actions = actions_for_span(span, registry, engine.default_config)
-            response = personalizer.rank(features.context(), actions)
+            response = policy.rank(features.context(), actions, job=job)
             if response.action.rule_id is None:
                 result.bandit.equal += 1
                 result.bandit.total_est_cost += default_cost
-                personalizer.reward(response.event_id, 1.0)
+                policy.observe(response.event_id, 1.0)
                 continue
             cb_flip = RuleFlip(response.action.rule_id, response.action.turn_on)
             bucket, cost = _classify(engine, compiled, default_cost, cb_flip)
             setattr(result.bandit, bucket, getattr(result.bandit, bucket) + 1)
             if bucket == "lower" and cost is not None:
                 result.bandit.total_est_cost += cost
-                personalizer.reward(
+                policy.observe(
                     response.event_id,
                     min(default_cost / cost, engine.config.bandit.reward_clip),
                 )
@@ -169,7 +186,7 @@ def run_table3_experiment(
                     if cost
                     else 0.0
                 )
-                personalizer.reward(response.event_id, reward)
+                policy.observe(response.event_id, reward)
     result.jobs_evaluated = total
     result.steerable_fraction = steerable / total if total else 0.0
     return result

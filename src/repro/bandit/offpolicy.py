@@ -39,27 +39,46 @@ def _target_probs(policy, event: LoggedEvent, scorer) -> list[float]:
     ]
 
 
+def _usable(event: LoggedEvent) -> bool:
+    """Whether an event can contribute to an estimate at all.
+
+    Logs ingested from external systems can carry degenerate rows — an
+    empty action set (nothing was offered), a non-positive propensity
+    (the logger recorded no exploration), or a chosen index outside the
+    action set.  Such rows carry no counterfactual information; they are
+    skipped rather than allowed to raise mid-estimate, so one bad row
+    cannot take down a whole evaluation (the estimators then average over
+    the usable rows only, and return 0.0 when none remain).
+    """
+    return (
+        len(event.actions) > 0
+        and event.probability > 0.0
+        and 0 <= event.chosen < len(event.actions)
+    )
+
+
 def ips_estimate(events: list[LoggedEvent], policy, scorer=None) -> float:
     """Unbiased estimate of the target policy's average reward."""
-    if not events:
+    usable = [event for event in events if _usable(event)]
+    if not usable:
         return 0.0
     total = 0.0
-    for event in events:
+    for event in usable:
         target = policy.action_probability(
             event.context, list(event.actions), event.chosen, scorer
         )
         weight = target / max(event.probability, _MIN_PROB)
         total += weight * event.reward
-    return total / len(events)
+    return total / len(usable)
 
 
 def snips_estimate(events: list[LoggedEvent], policy, scorer=None) -> float:
     """Self-normalized IPS: lower variance, slight bias."""
-    if not events:
-        return 0.0
     numerator = 0.0
     denominator = 0.0
     for event in events:
+        if not _usable(event):
+            continue
         target = policy.action_probability(
             event.context, list(event.actions), event.chosen, scorer
         )
@@ -75,10 +94,11 @@ def dr_estimate(events: list[LoggedEvent], policy, reward_model, scorer=None) ->
     ``reward_model(context, action) -> float`` supplies the direct method
     component (e.g. ``CBLearner.score_action``).
     """
-    if not events:
+    usable = [event for event in events if _usable(event)]
+    if not usable:
         return 0.0
     total = 0.0
-    for event in events:
+    for event in usable:
         probs = _target_probs(policy, event, scorer)
         direct = sum(
             p * reward_model(event.context, action)
@@ -88,4 +108,4 @@ def dr_estimate(events: list[LoggedEvent], policy, reward_model, scorer=None) ->
         weight = target / max(event.probability, _MIN_PROB)
         model_chosen = reward_model(event.context, event.actions[event.chosen])
         total += direct + weight * (event.reward - model_chosen)
-    return total / len(events)
+    return total / len(usable)

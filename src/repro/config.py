@@ -17,6 +17,7 @@ __all__ = [
     "EstimatorConfig",
     "WorkloadConfig",
     "BanditConfig",
+    "PolicyConfig",
     "FlightingConfig",
     "AdvisorConfig",
     "CacheConfig",
@@ -127,6 +128,30 @@ class BanditConfig:
     activation_timeout_days: int = 2
     #: default reward applied to rank events that expire unrewarded
     expired_event_reward: float = 0.0
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Selects and configures the active steering policy (``repro.policies``).
+
+    The default (``"bandit"``) runs the paper's CB/Personalizer stack,
+    byte-identical to the pre-seam pipeline.  ``"value_model"`` is the
+    Bao-style per-hint-set reward regressor; ``"plan_guided"`` the
+    Neo-style plan-structure scorer.  The bandit policy takes its learner
+    parameters from :class:`BanditConfig`; the fields here configure the
+    self-contained competitors only.
+    """
+
+    #: "bandit" | "value_model" | "plan_guided"
+    name: str = "bandit"
+    #: exploration rate of the non-bandit policies' epsilon-greedy selection
+    epsilon: float = 0.1
+    #: hashed feature-space bits of the plan-guided policy's linear model
+    hash_bits: int = 16
+    #: SGD learning rate of the plan-guided policy
+    learning_rate: float = 0.08
+    #: per-action sample-buffer bound of the value-model policy's regressors
+    max_samples_per_action: int = 4096
 
 
 @dataclass(frozen=True)
@@ -290,6 +315,7 @@ class SimulationConfig:
     estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     bandit: BanditConfig = field(default_factory=BanditConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
     flighting: FlightingConfig = field(default_factory=FlightingConfig)
     advisor: AdvisorConfig = field(default_factory=AdvisorConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)

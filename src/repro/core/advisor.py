@@ -19,7 +19,7 @@ from repro.config import SimulationConfig
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
 from repro.flighting.service import FlightingService
 from repro.parallel import Executor, build_executor
-from repro.personalizer.service import PersonalizerService
+from repro.policies import build_policy
 from repro.scope.engine import ScopeEngine
 from repro.scope.optimizer.rules.base import default_registry
 from repro.sharding import ShardedScopeCluster
@@ -56,9 +56,12 @@ class QOAdvisor:
         else:
             self.engine = ScopeEngine(self.workload.catalog, self.config, self.registry)
         self.sis = SISService(self.registry)
-        self.personalizer = PersonalizerService(
-            self.config.bandit, seed=self.config.seed, mode="uniform_logging"
-        )
+        #: the active steering policy (``config.policy`` selects it); the
+        #: default is the paper's CB behind :class:`BanditSteeringPolicy`
+        self.policy = build_policy(self.config, self.engine)
+        #: the raw PersonalizerService when the bandit policy is active
+        #: (None for self-contained policies) — the pre-seam API surface
+        self.personalizer = getattr(self.policy, "service", None)
         self.flighting = FlightingService(
             self.engine, self.config.flighting, executor=self.executor
         )
@@ -70,6 +73,7 @@ class QOAdvisor:
             flighting=self.flighting,
             config=self.config,
             executor=self.executor,
+            policy=self.policy,
         )
         self.reports: list[DayReport] = []
 
@@ -114,14 +118,14 @@ class QOAdvisor:
             self.engine,
             self.workload,
             self.pipeline.spans,
-            self.personalizer,
+            self.policy,
             range(start_day, start_day + effective_days),
             self.config.bandit.reward_clip,
         )
 
     def enable_learned_mode(self) -> None:
-        """Switch the Personalizer from uniform logging to the learned policy."""
-        self.personalizer.switch_mode("learned")
+        """Switch the policy from uniform logging to its learned behavior."""
+        self.policy.switch_mode("learned")
 
     def run_day(self, day: int) -> DayReport:
         report = self.pipeline.run_day(day)

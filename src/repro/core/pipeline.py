@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from repro.config import SimulationConfig
 from repro.core.features import FeatureGenerationTask, JobFeatures
-from repro.core.recommend import Recommendation, RecommendationTask
+from repro.core.recommend import Recommendation, RecommendationTask, as_policy
 from repro.core.recompile import (
     CostOutcome,
     RecompilationTask,
@@ -103,6 +103,12 @@ class DayReport:
     #: wall-clock seconds per pipeline stage; stages that did not run on
     #: this day (e.g. validation before the model is fitted) report 0.0
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: active steering-policy name and its published model version at day
+    #: close — deployment telemetry, excluded from :meth:`fingerprint`
+    #: (like stage timings) so the default-policy refactor stays
+    #: byte-identical to pre-seam reports
+    policy_name: str = ""
+    policy_version: int = 0
 
     @property
     def steerable_fraction(self) -> float:
@@ -232,10 +238,10 @@ class FeatureStage(PipelineStage):
 
 
 class RecommendStage(PipelineStage):
-    """Contextual-bandit ranking.
+    """Steering-policy ranking (the CB by default).
 
-    Stays serial: the Personalizer draws exploration randomness from one
-    sequential stream, so rank order is part of the deterministic trace.
+    Stays serial: policies draw exploration randomness from one sequential
+    stream, so rank order is part of the deterministic trace.
     """
 
     name = "recommend"
@@ -256,7 +262,7 @@ class RecompileStage(PipelineStage):
             ctx.report.recommendations
         )
         for outcome in ctx.report.outcomes:
-            self.pipeline.personalizer.reward(
+            self.pipeline.policy.observe(
                 outcome.recommendation.event_id, outcome.reward
             )
 
@@ -314,17 +320,38 @@ class QOAdvisorPipeline:
         engine: ScopeEngine,
         workload: Workload,
         sis: SISService,
-        personalizer: PersonalizerService,
-        flighting: FlightingService,
+        personalizer: PersonalizerService | None = None,
+        flighting: FlightingService | None = None,
         config: SimulationConfig | None = None,
         executor: Executor | None = None,
+        policy=None,
     ) -> None:
         self.engine = engine
         self.workload = workload
         self.sis = sis
-        self.personalizer = personalizer
         self.flighting = flighting
         self.config = config or engine.config
+        # the steering seam: an explicit policy wins; a raw Personalizer
+        # (the pre-seam API) is wrapped in the byte-identical bandit policy;
+        # with neither, the config's PolicyConfig decides
+        if policy is None:
+            if personalizer is not None:
+                policy = as_policy(personalizer)
+            else:
+                from repro.policies import build_policy
+
+                policy = build_policy(self.config, engine)
+        self.policy = as_policy(policy)
+        if getattr(self.policy, "engine", False) is None:
+            # a plan-guided policy built before the fleet existed
+            self.policy.bind_engine(engine)
+        #: the wrapped PersonalizerService when the bandit policy is active
+        #: (None for self-contained policies) — pre-seam attribute name
+        self.personalizer = (
+            personalizer
+            if personalizer is not None
+            else getattr(self.policy, "service", None)
+        )
         # shared_state: stage closures mutate the engine's plan caches and
         # stats counters, so the process backend is refused here too
         self.executor = executor or build_executor(
@@ -332,7 +359,7 @@ class QOAdvisorPipeline:
         )
         self.spans = SpanComputer(engine, executor=self.executor)
         self.feature_task = FeatureGenerationTask(self.spans)
-        self.recommend_task = RecommendationTask(personalizer, engine.registry)
+        self.recommend_task = RecommendationTask(self.policy, engine.registry)
         self.recompile_task = RecompilationTask(
             engine,
             reward_clip=self.config.bandit.reward_clip,
@@ -515,14 +542,15 @@ class QOAdvisorPipeline:
         cache_before: CacheStats,
         shards_before: dict[int, CacheStats],
     ) -> DayReport:
-        """Close a day: hint census, cache deltas, Personalizer publish."""
+        """Close a day: hint census, cache deltas, policy model publish."""
         report.active_hint_count = len(self.sis.active_hints())
         report.cache_stats = self.engine.compilation.stats - cache_before
         report.shard_cache_stats = {
             shard: stats - shards_before.get(shard, CacheStats())
             for shard, stats in self._per_shard_stats().items()
         }
-        self.personalizer.publish_version()
+        report.policy_name = self.policy.name
+        report.policy_version = self.policy.publish_version()
         return report
 
     def run_day(self, day: int) -> DayReport:

@@ -1,9 +1,17 @@
-"""Rule Recommendation: the contextual-bandit task (paper §3.2, §4.2).
+"""Rule Recommendation: choose one flip per steerable job (paper §3.2, §4.2).
 
 The action set for a job with span bits S is (1 + |S|): keep the default
 plan, or flip exactly one span rule relative to the default configuration.
-The Personalizer ranks the set; the chosen action's reward is supplied
-later by the Recompilation task.
+The active :class:`~repro.policies.SteeringPolicy` ranks the set; the
+chosen action's reward is supplied later by the Recompilation task through
+:meth:`~repro.policies.SteeringPolicy.observe`.
+
+This layer is policy-agnostic: the paper's contextual bandit, the
+Bao-style value model and the Neo-style plan-guided scorer all plug in
+behind the same seam.  A raw :class:`PersonalizerService` is still
+accepted anywhere a policy is (auto-wrapped in the byte-identical
+:class:`~repro.policies.BanditSteeringPolicy`), so pre-seam call sites
+keep working unchanged.
 """
 
 from __future__ import annotations
@@ -15,7 +23,13 @@ from repro.core.features import JobFeatures
 from repro.personalizer.service import PersonalizerService
 from repro.scope.optimizer.rules.base import RuleConfiguration, RuleFlip, RuleRegistry
 
-__all__ = ["Recommendation", "RecommendationTask", "actions_for_span"]
+__all__ = [
+    "Recommendation",
+    "RecommendationTask",
+    "actions_for_span",
+    "as_policy",
+    "train_off_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -26,6 +40,19 @@ class Recommendation:
     flip: RuleFlip | None
     event_id: str
     probability: float
+
+
+def as_policy(policy_or_service):
+    """Coerce to a :class:`SteeringPolicy` (the backward-compat shim).
+
+    Raw :class:`PersonalizerService` instances — the pre-seam API surface —
+    are wrapped in a :class:`BanditSteeringPolicy`, which delegates 1:1.
+    """
+    if isinstance(policy_or_service, PersonalizerService):
+        from repro.policies.bandit import BanditSteeringPolicy
+
+        return BanditSteeringPolicy(policy_or_service)
+    return policy_or_service
 
 
 def actions_for_span(
@@ -49,21 +76,23 @@ def train_off_policy(
     engine,
     workload,
     spans,
-    personalizer: PersonalizerService,
+    policy,
     days,
     reward_clip: float = 2.0,
 ) -> int:
     """Off-policy warm-up: uniform logging + cost-ratio rewards (§4.2).
 
-    For each steerable job, the Personalizer (in uniform-logging mode) ranks
-    the action set, the pick is recompiled, and the clipped cost ratio is
-    reported as reward.  Returns the number of logged events.
+    For each steerable job, the policy (in uniform-logging mode) ranks the
+    action set, the pick is recompiled, and the clipped cost ratio is
+    reported as reward.  Returns the number of logged events.  Accepts any
+    :class:`SteeringPolicy` (or a raw :class:`PersonalizerService`).
     """
     from repro.errors import ScopeError
     from repro.scope.telemetry.view import build_view_row
 
     from repro.core.features import JobFeatures
 
+    policy = as_policy(policy)
     registry = engine.registry
     events = 0
     for day in days:
@@ -79,22 +108,22 @@ def train_off_policy(
             row = build_view_row(job, run_result, metrics)
             features = JobFeatures(job=job, row=row, span=span)
             actions = actions_for_span(span, registry, engine.default_config)
-            response = personalizer.rank(features.context(), actions)
+            response = policy.rank(features.context(), actions, job=job)
             events += 1
             if response.action.rule_id is None:
-                personalizer.reward(response.event_id, 1.0)
+                policy.observe(response.event_id, 1.0)
                 continue
             flip = RuleFlip(response.action.rule_id, response.action.turn_on)
             try:
                 cost = engine.compile_job(job, flip, use_hints=False).est_cost
             except ScopeError:
-                personalizer.reward(response.event_id, 0.0)
+                policy.observe(response.event_id, 0.0)
                 continue
             if cost <= 0:
                 reward = reward_clip
             else:
                 reward = min(run_result.est_cost / cost, reward_clip)
-            personalizer.reward(response.event_id, reward)
+            policy.observe(response.event_id, reward)
         # per-day epoch barrier: plan-cache capacity is enforced here, from
         # the coordinating thread, like the pipeline does per stage
         engine.compilation.checkpoint()
@@ -104,10 +133,16 @@ def train_off_policy(
 class RecommendationTask:
     """Features → up to one rule-flip recommendation per job."""
 
-    def __init__(self, personalizer: PersonalizerService, registry: RuleRegistry) -> None:
-        self.personalizer = personalizer
+    def __init__(self, policy, registry: RuleRegistry) -> None:
+        self.policy = as_policy(policy)
         self.registry = registry
         self.default = registry.default_configuration()
+
+    @property
+    def personalizer(self):
+        """The wrapped PersonalizerService when the bandit policy is active
+        (pre-seam attribute name, kept for compatibility)."""
+        return getattr(self.policy, "service", None)
 
     def run(self, features: list[JobFeatures]) -> list[Recommendation]:
         recommendations: list[Recommendation] = []
@@ -115,7 +150,9 @@ class RecommendationTask:
             if not job_features.steerable:
                 continue  # empty span: nothing to recommend (paper §4.1)
             actions = actions_for_span(job_features.span, self.registry, self.default)
-            response = self.personalizer.rank(job_features.context(), actions)
+            response = self.policy.rank(
+                job_features.context(), actions, job=job_features.job
+            )
             flip = None
             if response.action.rule_id is not None:
                 flip = RuleFlip(response.action.rule_id, response.action.turn_on)

@@ -1,0 +1,292 @@
+"""The steering-policy seam: what the pipeline requires of a recommender.
+
+The paper's deployment steers with one fixed contextual bandit; the fleet
+wants to *compare* steering strategies (Bao-style learned value models,
+Neo-style plan-guided scoring, the CB baseline) without re-wiring the
+pipeline per strategy.  :class:`SteeringPolicy` is that seam — everything
+downstream of feature generation (the recommend stage, the reward feedback
+of the recompile stage, the daily model publish, the off-policy
+estimators) talks to this interface and nothing else.
+
+The contract:
+
+* :meth:`~SteeringPolicy.rank` — choose one action for a (context,
+  actions) pair, returning a :class:`~repro.personalizer.service.RankResponse`
+  (event id + chosen action + logged propensity).  Policies that score
+  *compiled plans* (Neo-style) additionally receive the job, so they can
+  consult the plan cache; context-only policies ignore it.
+* :meth:`~SteeringPolicy.observe` — report the reward for a ranked event;
+  the policy learns online (or buffers for its next refit).
+* :meth:`~SteeringPolicy.action_probability` — the probability the
+  policy's *acting* (learned) distribution assigns to one action of a
+  logged event.  This is the hook the IPS/SNIPS/DR estimators in
+  :mod:`repro.bandit.offpolicy` need, and it is deliberately
+  signature-compatible with the bandit-internal policies there (the
+  ``scorer`` argument is accepted and ignored by self-contained policies).
+* :meth:`~SteeringPolicy.publish_version` / :meth:`~SteeringPolicy.restore_version`
+  — daily model snapshots and regression rollback, mirroring the Azure
+  Personalizer lifecycle the pipeline already drives.
+* :meth:`~SteeringPolicy.switch_mode` — ``"uniform_logging"`` (explore
+  uniformly, maximally informative logs — the off-policy warm-up) vs
+  ``"learned"`` (act on the learned scores), the paper's staged rollout.
+
+:class:`LearnedSteeringPolicy` is the shared skeleton for self-contained
+competitors: it owns the pending-event table, the high-fidelity event log
+(:class:`~repro.bandit.offpolicy.LoggedEvent`, so every policy's log feeds
+the same counterfactual machinery), the mode switch, the keyed exploration
+RNG and epsilon-greedy selection; subclasses supply ``_scores`` (score
+every action) plus ``_learn``/``_snapshot``/``_restore``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.bandit.features import ActionFeatures, ContextFeatures
+from repro.bandit.offpolicy import LoggedEvent
+from repro.errors import PersonalizerError
+from repro.personalizer.service import RankResponse
+from repro.rng import keyed_rng
+
+if TYPE_CHECKING:
+    from repro.scope.jobs import JobInstance
+
+__all__ = ["SteeringPolicy", "LearnedSteeringPolicy", "PolicyVersion"]
+
+#: the two operating modes every policy understands (paper §4.2)
+MODES = ("uniform_logging", "learned")
+
+
+class SteeringPolicy(abc.ABC):
+    """What the recommendation layer requires of a steering strategy."""
+
+    #: stable identifier, surfaced in day reports and serving stats
+    name: str = "?"
+
+    @abc.abstractmethod
+    def rank(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        job: "JobInstance | None" = None,
+    ) -> RankResponse:
+        """Choose one action; the caller must later observe its reward."""
+
+    @abc.abstractmethod
+    def observe(self, event_id: str, reward: float) -> None:
+        """Report the reward for a ranked event; the policy learns."""
+
+    @abc.abstractmethod
+    def action_probability(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        index: int,
+        scorer=None,
+    ) -> float:
+        """P(action | context) under the policy's learned distribution."""
+
+    @abc.abstractmethod
+    def publish_version(self) -> int:
+        """Snapshot the model (the daily pipeline checkpoint)."""
+
+    @abc.abstractmethod
+    def restore_version(self, version: int) -> None:
+        """Roll the model back to a published snapshot."""
+
+    @abc.abstractmethod
+    def switch_mode(self, mode: str) -> None:
+        """``"uniform_logging"`` or ``"learned"`` (staged rollout, §4.2)."""
+
+    @property
+    @abc.abstractmethod
+    def model_version(self) -> int:
+        """Number of published snapshots so far."""
+
+    @property
+    @abc.abstractmethod
+    def event_log(self) -> list[LoggedEvent]:
+        """Every finalized decision, for counterfactual evaluation."""
+
+
+@dataclass
+class PolicyVersion:
+    """One published model snapshot of a self-contained policy."""
+
+    version: int
+    state: object
+
+
+@dataclass
+class _Pending:
+    context: ContextFeatures
+    actions: tuple[ActionFeatures, ...]
+    chosen: int
+    probability: float
+
+
+class LearnedSteeringPolicy(SteeringPolicy):
+    """Shared machinery for self-contained (non-Personalizer) policies.
+
+    Subclasses implement:
+
+    * ``_scores(context, actions, job)`` → per-action score array;
+    * ``_learn(context, action, reward, probability)`` — consume one
+      finalized event;
+    * ``_snapshot()`` / ``_restore(state)`` — model state for
+      publish/restore.
+    """
+
+    def __init__(self, epsilon: float, seed: int, mode: str = "uniform_logging") -> None:
+        if mode not in MODES:
+            raise PersonalizerError(f"unknown mode {mode!r}")
+        if not 0.0 <= epsilon <= 1.0:
+            raise PersonalizerError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.mode = mode
+        self._rng = keyed_rng(seed, "policy", self.name)
+        self._pending: dict[str, _Pending] = {}
+        self._event_counter = 0
+        self._log: list[LoggedEvent] = []
+        self.versions: list[PolicyVersion] = []
+
+    # -- the SteeringPolicy surface ----------------------------------------------
+
+    def rank(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        job: "JobInstance | None" = None,
+    ) -> RankResponse:
+        if not actions:
+            raise PersonalizerError("rank called with an empty action set")
+        if self.mode == "uniform_logging":
+            index = int(self._rng.integers(0, len(actions)))
+            probability = 1.0 / len(actions)
+        else:
+            scores = self._scores(context, actions, job)
+            greedy = int(np.argmax(scores))
+            explore = self._rng.random() < self.epsilon
+            index = int(self._rng.integers(0, len(actions))) if explore else greedy
+            probability = self._greedy_probability(len(actions), index == greedy)
+        self._event_counter += 1
+        event_id = f"{self.name}-{self._event_counter:08d}"
+        self._pending[event_id] = _Pending(
+            context=context,
+            actions=tuple(actions),
+            chosen=index,
+            probability=probability,
+        )
+        return RankResponse(
+            event_id=event_id,
+            action=actions[index],
+            index=index,
+            probability=probability,
+            model_version=len(self.versions),
+        )
+
+    def observe(self, event_id: str, reward: float) -> None:
+        pending = self._pending.pop(event_id, None)
+        if pending is None:
+            raise PersonalizerError(f"unknown or already-rewarded event {event_id!r}")
+        self._log.append(
+            LoggedEvent(
+                context=pending.context,
+                actions=pending.actions,
+                chosen=pending.chosen,
+                probability=pending.probability,
+                reward=reward,
+            )
+        )
+        self._learn(
+            pending.context,
+            pending.actions[pending.chosen],
+            reward,
+            pending.probability,
+        )
+
+    def action_probability(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        index: int,
+        scorer=None,
+    ) -> float:
+        """The *acting* (epsilon-greedy over learned scores) distribution.
+
+        Counterfactual evaluation asks what the policy would do if it were
+        driving — the learned distribution — regardless of the mode it is
+        currently logging under, matching
+        ``PersonalizerService.counterfactual_evaluate``'s convention.
+        ``scorer`` is accepted for signature compatibility with the
+        bandit-internal policies and ignored: self-contained policies own
+        their model.
+        """
+        if not actions:
+            return 0.0
+        scores = self._scores(context, actions, None)
+        greedy = int(np.argmax(scores))
+        return self._greedy_probability(len(actions), index == greedy)
+
+    def _greedy_probability(self, num_actions: int, is_greedy: bool) -> float:
+        base = self.epsilon / num_actions
+        return base + (1.0 - self.epsilon) * (1.0 if is_greedy else 0.0)
+
+    def publish_version(self) -> int:
+        self.versions.append(
+            PolicyVersion(version=len(self.versions) + 1, state=self._snapshot())
+        )
+        return len(self.versions)
+
+    def restore_version(self, version: int) -> None:
+        for published in self.versions:
+            if published.version == version:
+                self._restore(published.state)
+                return
+        raise PersonalizerError(f"unknown model version {version}")
+
+    def switch_mode(self, mode: str) -> None:
+        if mode not in MODES:
+            raise PersonalizerError(f"unknown mode {mode!r}")
+        self.mode = mode
+
+    @property
+    def model_version(self) -> int:
+        return len(self.versions)
+
+    @property
+    def event_log(self) -> list[LoggedEvent]:
+        return self._log
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._pending)
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _scores(
+        self,
+        context: ContextFeatures,
+        actions: list[ActionFeatures],
+        job: "JobInstance | None",
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _learn(
+        self,
+        context: ContextFeatures,
+        action: ActionFeatures,
+        reward: float,
+        probability: float,
+    ) -> None:
+        raise NotImplementedError
+
+    def _snapshot(self) -> object:
+        raise NotImplementedError
+
+    def _restore(self, state: object) -> None:
+        raise NotImplementedError

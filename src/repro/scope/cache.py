@@ -247,6 +247,14 @@ class PlanCache:
         """
         return key in self._entries
 
+    def peek_entry(self, key: tuple) -> _CacheEntry | None:
+        """Counter-free entry read (no hit/miss, no recency stamp).
+
+        The plan-guided policy's scoring peek: it consumes the memoized
+        result without perturbing the accounting or eviction order.
+        """
+        return self._entries.get(key)
+
     def put(self, key: tuple, entry: _CacheEntry) -> None:
         entry.last_epoch = self.epoch
         self._entries[key] = entry
@@ -792,6 +800,22 @@ class CompilationService:
         with self._lock:
             self._sync_catalog_version()
             return self.cache.peek(self._key_for(script, config))
+
+    def peek_result(
+        self, script: str, config: RuleConfiguration
+    ) -> "OptimizationResult | None":
+        """The cached plan for one resolved unit, counter-free, or ``None``.
+
+        The plan-guided steering policy reads plan structure for scoring;
+        like :meth:`peek_plan` the probe must not move hit/miss counters
+        (fingerprint contract) or recency, and it never compiles — a cold
+        key simply yields ``None``.  Memoized compile *errors* also yield
+        ``None``: there is no plan to featurize.
+        """
+        with self._lock:
+            self._sync_catalog_version()
+            entry = self.cache.peek_entry(self._key_for(script, config))
+            return entry.result if entry is not None else None
 
     def fragment_view(self, config: RuleConfiguration) -> "FragmentView":
         """A fragment-store view bound to ``config`` and the live catalog."""

@@ -143,6 +143,23 @@ class ScopeEngine:
         """
         return self.compilation.compile_job(job, flip, use_hints=use_hints)
 
+    def peek_job_result(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> OptimizationResult | None:
+        """The cached plan a ``compile_job`` call would serve, or ``None``.
+
+        Counter-free and compile-free (see
+        :meth:`CompilationService.peek_result`): the plan-guided steering
+        policy scores against resident plans without adding optimizer
+        invocations or moving fingerprint-visible accounting.
+        """
+        config = self.configuration_for(job, flip, use_hints=use_hints)
+        return self.compilation.peek_result(job.script, config)
+
     def compile_job_uncached(
         self,
         job: JobInstance,

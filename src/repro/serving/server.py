@@ -1140,4 +1140,6 @@ class QOAdvisorServer:
             hint_version=current_version,
             maintenance_windows=self.scheduler.windows,
             publications=self.scheduler.publications,
+            policy_name=self.advisor.policy.name,
+            policy_version=self.advisor.policy.model_version,
         )

@@ -129,6 +129,11 @@ class ServerStats:
     #: maintenance windows run / hint publications they produced
     maintenance_windows: int = 0
     publications: int = 0
+    #: active steering policy and its published model version — deployment
+    #: telemetry (the operator's "what model is steering right now"),
+    #: excluded from fingerprints like every other schedule-shaped field
+    policy_name: str = ""
+    policy_version: int = 0
 
     @property
     def steer_rate(self) -> float:
@@ -144,7 +149,8 @@ class ServerStats:
             f"{self.throughput_jobs_per_s:.1f} jobs/s, "
             f"steer rate {self.steer_rate:.0%}, "
             f"hint v{self.hint_version}, "
-            f"{self.maintenance_windows} window(s) / {self.publications} publication(s)"
+            f"{self.maintenance_windows} window(s) / {self.publications} publication(s), "
+            f"policy {self.policy_name or '-'} v{self.policy_version}"
         ]
         for shard in self.shards:
             state = "up" if shard.alive else ("RETIRED" if shard.retired else "FAILED")

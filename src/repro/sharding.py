@@ -525,6 +525,16 @@ class ShardedScopeCluster:
     ) -> "OptimizationResult":
         return self.engine_for(job).compile_job_uncached(job, flip, use_hints=use_hints)
 
+    def peek_job_result(
+        self,
+        job: JobInstance,
+        flip: RuleFlip | None = None,
+        *,
+        use_hints: bool = True,
+    ) -> "OptimizationResult | None":
+        """Counter-free cached-plan peek on the job's owning shard."""
+        return self.engine_for(job).peek_job_result(job, flip, use_hints=use_hints)
+
     def compile(self, script: str):
         """Raw parse/bind/compile (no plan cache) — the analysis harnesses'
         entry point.  Catalog replicas are byte-identical, so any shard
