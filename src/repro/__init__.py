@@ -22,6 +22,7 @@ Quickstart::
 from repro.config import (
     CacheConfig,
     ExecutionConfig,
+    ObsConfig,
     PolicyConfig,
     ServingConfig,
     ShardingConfig,
@@ -43,6 +44,12 @@ from repro.policies import (
     ValueModelPolicy,
     build_policy,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ObservabilityPlane,
+    StatsBus,
+    Tracer,
+)
 from repro.scope.cache import CacheStats, CompilationService
 from repro.scope.engine import ScopeEngine
 from repro.serving import (
@@ -54,7 +61,7 @@ from repro.serving import (
 from repro.sharding import ShardedScopeCluster, ShardRouter
 from repro.workload.generator import Workload, build_workload
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "QOAdvisor",
@@ -72,6 +79,11 @@ __all__ = [
     "ServerStats",
     "TicketJournal",
     "ServingConfig",
+    "ObsConfig",
+    "ObservabilityPlane",
+    "Tracer",
+    "MetricsRegistry",
+    "StatsBus",
     "ShardedScopeCluster",
     "ShardRouter",
     "ShardingConfig",

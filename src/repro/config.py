@@ -24,6 +24,7 @@ __all__ = [
     "ExecutionConfig",
     "ShardingConfig",
     "ServingConfig",
+    "ObsConfig",
     "SimulationConfig",
 ]
 
@@ -304,6 +305,36 @@ class ServingConfig:
     #: journaling.  A restarted server replays the journal to reconstruct
     #: its day accumulators and pending maintenance window byte-identically
     journal_path: str | None = None
+    #: bound on each lane's compile-latency sample ring (p50/p95/p99 are
+    #: computed over the most recent this-many completions)
+    latency_window: int = 1024
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Parameters of the observability plane (``repro.obs``).
+
+    Disabled by default: the whole plane degrades to shared no-op
+    components, and every instrumentation site costs one attribute
+    check.  Enabling it never changes simulation results — spans,
+    metrics views and bus events are counter-free and fingerprint-free
+    (``DayReport.fingerprint()`` and ``CacheStats.core()`` are
+    byte-identical either way; locked by ``tests/test_obs.py``).
+    """
+
+    #: build the real tracer/metrics/bus instead of the null plane
+    enabled: bool = False
+    #: capacity of the in-memory ring of most-recent finished spans
+    trace_ring_size: int = 4096
+    #: append-only JSONL span export (one object per closed span); None
+    #: keeps traces in-memory only
+    trace_jsonl_path: str | None = None
+    #: publish a per-lane stats delta on the bus every Nth completion
+    #: (1 = every completion)
+    stats_publish_every: int = 1
+    #: per-subscriber bounded queue length on the stats bus (overflow
+    #: drops oldest and counts ``Subscription.dropped``)
+    bus_queue_size: int = 1024
 
 
 @dataclass(frozen=True)
@@ -322,6 +353,7 @@ class SimulationConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy of this config with a different experiment seed."""

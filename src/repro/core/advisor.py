@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.config import SimulationConfig
 from repro.core.pipeline import DayReport, QOAdvisorPipeline
 from repro.flighting.service import FlightingService
+from repro.obs.plane import ObservabilityPlane
 from repro.parallel import Executor, build_executor
 from repro.policies import build_policy
 from repro.scope.engine import ScopeEngine
@@ -55,6 +56,12 @@ class QOAdvisor:
             )
         else:
             self.engine = ScopeEngine(self.workload.catalog, self.config, self.registry)
+        #: the observability plane (``config.obs``; the null plane when
+        #: disabled).  Installed into the engine/cluster so compiles and
+        #: executions trace; purely observational — fingerprints and core
+        #: cache counters are byte-identical with it on or off
+        self.obs = ObservabilityPlane(self.config.obs)
+        self.engine.install_obs(self.obs)
         self.sis = SISService(self.registry)
         #: the active steering policy (``config.policy`` selects it); the
         #: default is the paper's CB behind :class:`BanditSteeringPolicy`
@@ -74,7 +81,9 @@ class QOAdvisor:
             config=self.config,
             executor=self.executor,
             policy=self.policy,
+            obs=self.obs,
         )
+        self.obs.install(self)
         self.reports: list[DayReport] = []
 
     # -- lifecycle ----------------------------------------------------------
@@ -94,6 +103,7 @@ class QOAdvisor:
         engine_close = getattr(self.engine, "close", None)
         if engine_close is not None:
             engine_close()
+        self.obs.close()
 
     def __enter__(self) -> "QOAdvisor":
         return self

@@ -44,6 +44,7 @@ from repro.core.validate import ValidatedFlip, ValidationModel, ValidationTask
 from repro.core.hintgen import HintGenerationTask
 from repro.errors import ScopeError
 from repro.flighting.results import FlightRequest, FlightResult
+from repro.obs.plane import NULL_PLANE, ObservabilityPlane
 from repro.flighting.service import FlightingService
 from repro.parallel import Executor, build_executor
 from repro.personalizer.service import PersonalizerService
@@ -195,6 +196,9 @@ class StageContext:
     report: DayReport
     #: production runs keyed by job id (set by the production stage)
     jobs_by_id: dict[str, JobInstance] = field(default_factory=dict)
+    #: the day's (or window's) root trace span, when observability is on —
+    #: stages parent their spans under it; None leaves them unparented
+    trace: object | None = None
 
 
 class PipelineStage:
@@ -325,12 +329,23 @@ class QOAdvisorPipeline:
         config: SimulationConfig | None = None,
         executor: Executor | None = None,
         policy=None,
+        obs: ObservabilityPlane | None = None,
     ) -> None:
         self.engine = engine
         self.workload = workload
         self.sis = sis
         self.flighting = flighting
         self.config = config or engine.config
+        #: observability plane; the null plane keeps every probe a no-op
+        self.obs = obs or NULL_PLANE
+        #: the most recently finalized DayReport (feeds the stage-timing
+        #: metrics view); never read by the pipeline itself
+        self.last_report: DayReport | None = None
+        self._stage_hist = self.obs.metrics.histogram(
+            "repro_stage_duration_seconds",
+            "wall-clock of each pipeline stage run",
+            labels=("stage",),
+        )
         # the steering seam: an explicit policy wins; a raw Personalizer
         # (the pre-seam API) is wrapped in the byte-identical bandit policy;
         # with neither, the config's PolicyConfig decides
@@ -403,7 +418,16 @@ class QOAdvisorPipeline:
             except ScopeError:
                 return None
 
-        outcomes = self.executor.map_jobs(attempt, jobs)
+        # the cross-thread tracing boundary: each job gets a "job" span
+        # parented to the coordinating thread's current span (the
+        # production stage), carried into the worker explicitly
+        outcomes = self.executor.map_jobs_traced(
+            attempt,
+            jobs,
+            tracer=self.obs.tracer,
+            name="job",
+            attr=lambda job: {"job_id": job.job_id, "template": job.template_id},
+        )
         runs: list[JobRun] = []
         failed: list[str] = []
         view = WorkloadView(day=day)
@@ -532,8 +556,16 @@ class QOAdvisorPipeline:
         """
         if stage.should_run(ctx):
             started = time.perf_counter()
-            stage.run(ctx)
-            ctx.report.stage_timings[stage.name] = time.perf_counter() - started
+            if self.obs.tracer.enabled:
+                with self.obs.tracer.span(
+                    f"stage:{stage.name}", parent=ctx.trace, day=ctx.day
+                ):
+                    stage.run(ctx)
+            else:
+                stage.run(ctx)
+            wall = time.perf_counter() - started
+            ctx.report.stage_timings[stage.name] = wall
+            self._stage_hist.labels(stage=stage.name).observe(wall)
         self.engine.compilation.checkpoint()
 
     def finalize_report(
@@ -551,14 +583,21 @@ class QOAdvisorPipeline:
         }
         report.policy_name = self.policy.name
         report.policy_version = self.policy.publish_version()
+        self.last_report = report
         return report
 
     def run_day(self, day: int) -> DayReport:
         cache_before, shards_before = self.snapshot_stats()
         report = self.open_report(day)
         ctx = StageContext(day=day, report=report)
-        for stage in self.stages:
-            self.run_stage(stage, ctx)
+        if self.obs.tracer.enabled:
+            with self.obs.tracer.span("day", trace_id=f"day:{day}", day=day) as root:
+                ctx.trace = root
+                for stage in self.stages:
+                    self.run_stage(stage, ctx)
+        else:
+            for stage in self.stages:
+                self.run_stage(stage, ctx)
         return self.finalize_report(report, cache_before, shards_before)
 
     def _representative_requests(

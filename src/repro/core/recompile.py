@@ -142,7 +142,11 @@ class RecompilationTask:
                 default=defaults.get(recommendation.features.job.job_id),
             )
 
-        return self.executor.map_jobs(_evaluate, recommendations)
+        # propagation only: the recompile stage's span follows the flip
+        # evaluations to worker threads (trace shape is schedule-free)
+        return self.executor.map_jobs_propagated(
+            _evaluate, recommendations, tracer=self.engine.obs.tracer
+        )
 
     def _prefetch_defaults(
         self, recommendations: list[Recommendation]

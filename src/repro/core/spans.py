@@ -125,7 +125,11 @@ class SpanComputer:
                 return True, False
             return rule_id in result.signature.non_required_ids(registry), True
 
-        probed = self.executor.map_jobs(probe, remaining)
+        # propagation only: the feature stage's span follows the probes to
+        # worker threads, keeping trace shape worker-count independent
+        probed = self.executor.map_jobs_propagated(
+            probe, remaining, tracer=engine.obs.tracer
+        )
         self.recompilations += sum(1 for _, compiled_ok in probed if compiled_ok)
         span.update(
             rule_id for rule_id, (member, _) in zip(remaining, probed) if member

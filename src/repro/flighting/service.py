@@ -125,9 +125,10 @@ class FlightingService:
         order.
         """
         result = self.engine.compilation.compile_job(job, use_hints=False)
-        return self.executor.map_jobs(
+        return self.executor.map_jobs_propagated(
             lambda i: self.engine.execute(result, ("aa", job.job_id, day, i)),
             range(runs),
+            tracer=self.engine.obs.tracer,
         )
 
     # -- budgeted queue ---------------------------------------------------------
@@ -164,9 +165,13 @@ class FlightingService:
                 break
             wave = ordered[start : start + wave_size]
             first_id = self._reserve_flight_ids(len(wave))
-            flown = self.executor.map_jobs(
+            # span *propagation* only: the flight stage's span reaches the
+            # worker threads, so compile child spans attach identically
+            # at any worker count
+            flown = self.executor.map_jobs_propagated(
                 lambda pair: self.flight(pair[0], day, flight_id=pair[1]),
                 zip(wave, range(first_id, first_id + len(wave))),
+                tracer=self.engine.obs.tracer,
             )
             for result in flown:
                 if len(slots) >= wave_size:

@@ -1,0 +1,67 @@
+"""Unified observability plane: tracing, metrics, and streaming stats.
+
+Three legs, one constraint:
+
+* :mod:`~repro.obs.trace` — hierarchical spans per job/day/window, with
+  pluggable sinks (in-memory ring, append-only JSONL, bus fan-out);
+* :mod:`~repro.obs.metrics` — a labeled counter/gauge/histogram registry
+  plus pull-mode *views* over the system's existing counters, exposed in
+  Prometheus text format;
+* :mod:`~repro.obs.bus` — bounded pub/sub carrying incremental
+  `ServerStats`/`ShardStats` deltas and span events to subscribers.
+
+The constraint: instrumentation is counter-free and fingerprint-free.
+`DayReport.fingerprint()` and `CacheStats.core()` are byte-identical
+with observability on, off, sharded, and threaded, and the disabled
+plane (`ObsConfig(enabled=False)`, the default) costs one attribute
+check per site.
+"""
+
+from .bus import NULL_BUS, NullStatsBus, StatsBus, Subscription
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Sample,
+)
+from .plane import NULL_PLANE, ObservabilityPlane, install_advisor_views
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    CallbackSink,
+    JsonlSink,
+    NullTracer,
+    RingSink,
+    Span,
+    Tracer,
+    TraceSink,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "TraceSink",
+    "RingSink",
+    "JsonlSink",
+    "CallbackSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Sample",
+    "StatsBus",
+    "Subscription",
+    "NullStatsBus",
+    "NULL_BUS",
+    "ObservabilityPlane",
+    "NULL_PLANE",
+    "install_advisor_views",
+]

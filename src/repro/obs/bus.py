@@ -1,0 +1,172 @@
+"""In-process pub/sub for streaming stats deltas and trace events.
+
+The :class:`StatsBus` is the feed a future network gateway forwards over
+WebSockets (ROADMAP: "async network gateway + live observability
+plane"): publishers post small dict events onto named **topics**
+(``"server"``, ``"shard"``, ``"window"``, ``"span"``), subscribers drain
+them at their own pace from bounded per-subscription queues.
+
+Delivery semantics, chosen for an observability (not correctness) feed:
+
+* fan-out is synchronous and lock-cheap — ``publish`` appends to each
+  matching subscription's deque under the bus lock and returns; no
+  threads, no handlers run on the publisher's stack;
+* per-subscription queues are bounded, **drop-oldest** on overflow, and
+  count what they dropped (``Subscription.dropped``) — a slow subscriber
+  loses history, never stalls the serving path;
+* events are plain dicts with at least ``topic`` and ``seq`` (a bus-wide
+  monotone sequence number, so subscribers can detect gaps from drops).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["StatsBus", "Subscription", "NullStatsBus", "NULL_BUS"]
+
+
+class Subscription:
+    """One subscriber's bounded event queue; drain with :meth:`poll`."""
+
+    def __init__(self, bus: "StatsBus", topics: frozenset[str] | None, maxlen: int) -> None:
+        self._bus = bus
+        self.topics = topics  # None = all topics
+        self._queue: deque[dict] = deque(maxlen=maxlen)
+        #: events lost to overflow since subscribing
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, event: dict) -> None:
+        # caller holds the bus lock
+        if len(self._queue) == self._queue.maxlen:
+            self.dropped += 1
+        self._queue.append(event)
+
+    def matches(self, topic: str) -> bool:
+        return self.topics is None or topic in self.topics
+
+    def poll(self, max_events: int | None = None) -> list[dict]:
+        """Drain up to ``max_events`` pending events (all, when ``None``)."""
+        with self._bus._lock:
+            if max_events is None or max_events >= len(self._queue):
+                events = list(self._queue)
+                self._queue.clear()
+            else:
+                events = [self._queue.popleft() for _ in range(max_events)]
+        return events
+
+    def pending(self) -> int:
+        with self._bus._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class StatsBus:
+    """Topic-based pub/sub with bounded, drop-oldest subscriber queues."""
+
+    enabled = True
+
+    def __init__(self, queue_size: int = 1024) -> None:
+        if queue_size < 1:
+            raise ValueError(f"bus queue size must be >= 1, got {queue_size}")
+        self.queue_size = queue_size
+        self._lock = threading.Lock()
+        self._subs: list[Subscription] = []
+        self._seq = 0
+        #: events ever published (all topics)
+        self.published = 0
+
+    def subscribe(
+        self, topics: str | list[str] | tuple[str, ...] | None = None,
+        queue_size: int | None = None,
+    ) -> Subscription:
+        """Open a subscription to ``topics`` (``None`` = everything)."""
+        if isinstance(topics, str):
+            topic_set: frozenset[str] | None = frozenset([topics])
+        elif topics is None:
+            topic_set = None
+        else:
+            topic_set = frozenset(topics)
+        sub = Subscription(self, topic_set, queue_size or self.queue_size)
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            sub.closed = True
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+
+    def publish(self, topic: str, event: dict) -> None:
+        """Post ``event`` to every subscription matching ``topic``.
+
+        The event dict is stamped with ``topic`` and a bus-wide ``seq``;
+        the same dict object is shared across subscribers (treat as
+        read-only on the consuming side).
+        """
+        with self._lock:
+            self._seq += 1
+            self.published += 1
+            event = {"topic": topic, "seq": self._seq, **event}
+            for sub in self._subs:
+                if sub.matches(topic):
+                    sub._offer(event)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def close(self) -> None:
+        with self._lock:
+            for sub in self._subs:
+                sub.closed = True
+            self._subs.clear()
+
+
+class NullStatsBus:
+    """Disabled bus: publishes vanish, subscriptions stay empty."""
+
+    enabled = False
+    published = 0
+    subscriber_count = 0
+
+    def subscribe(self, topics=None, queue_size=None) -> "_NullSubscription":
+        return _NULL_SUBSCRIPTION
+
+    def unsubscribe(self, sub) -> None:
+        return None
+
+    def publish(self, topic: str, event: dict) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class _NullSubscription:
+    topics = None
+    dropped = 0
+    closed = True
+
+    def poll(self, max_events=None) -> list:
+        return []
+
+    def pending(self) -> int:
+        return 0
+
+    def matches(self, topic: str) -> bool:
+        return False
+
+    def close(self) -> None:
+        return None
+
+
+_NULL_SUBSCRIPTION = _NullSubscription()
+NULL_BUS = NullStatsBus()

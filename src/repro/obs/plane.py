@@ -1,0 +1,159 @@
+"""The assembled observability plane: tracer + metrics registry + bus.
+
+:class:`ObservabilityPlane` is the single object the rest of the system
+wires against.  Built from :class:`~repro.config.ObsConfig`; when
+disabled it degrades to the shared null components so every
+instrumentation site stays one ``enabled`` check away from free.
+
+``install_advisor_views`` re-homes the batch pipeline's existing signals
+onto the registry as pull-mode views — the cache counters, stage
+timings, and policy identity are *read* at exposition time, never
+duplicated on the hot path.  The serving server registers its own views
+(queue depths, SLO counters, lane latency) in
+:meth:`repro.serving.server.QOAdvisorServer` because their sources of
+truth live there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from .bus import NULL_BUS, StatsBus
+from .metrics import NULL_REGISTRY, MetricsRegistry, Sample
+from .trace import (
+    NULL_TRACER,
+    CallbackSink,
+    JsonlSink,
+    RingSink,
+    Tracer,
+    TraceSink,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import ObsConfig
+    from ..core.advisor import QOAdvisor
+
+__all__ = ["ObservabilityPlane", "NULL_PLANE", "install_advisor_views"]
+
+
+class ObservabilityPlane:
+    """One tracer, one metrics registry, one stats bus — or their nulls."""
+
+    def __init__(self, config: "ObsConfig | None" = None) -> None:
+        from ..config import ObsConfig  # late: config imports stay one-way
+
+        self.config = config or ObsConfig()
+        self.enabled = bool(self.config.enabled)
+        self.ring: RingSink | None = None
+        self.jsonl: JsonlSink | None = None
+        if self.enabled:
+            self.bus = StatsBus(self.config.bus_queue_size)
+            sinks: list[TraceSink] = []
+            self.ring = RingSink(self.config.trace_ring_size)
+            sinks.append(self.ring)
+            if self.config.trace_jsonl_path:
+                self.jsonl = JsonlSink(self.config.trace_jsonl_path)
+                sinks.append(self.jsonl)
+            sinks.append(CallbackSink(self._publish_span))
+            self.tracer = Tracer(sinks)
+            self.metrics = MetricsRegistry()
+            self._span_counter = self.metrics.counter(
+                "repro_spans_finished_total",
+                "trace spans closed, by span name",
+                labels=("name",),
+            )
+        else:
+            self.bus = NULL_BUS
+            self.tracer = NULL_TRACER
+            self.metrics = NULL_REGISTRY
+            self._span_counter = None
+
+    def _publish_span(self, span) -> None:
+        self._span_counter.labels(name=span.name).inc()
+        self.bus.publish("span", span.to_dict())
+
+    def install(self, advisor: "QOAdvisor") -> None:
+        """Wire the batch advisor's existing signals up as registry views."""
+        if self.enabled:
+            install_advisor_views(self.metrics, advisor)
+
+    def close(self) -> None:
+        if self.enabled:
+            self.tracer.close()
+            self.bus.close()
+
+
+def install_advisor_views(registry: MetricsRegistry, advisor: "QOAdvisor") -> None:
+    """Register pull-mode views over the advisor's pipeline/cache/policy.
+
+    All callbacks read live state at collect time; re-registration (same
+    names) replaces earlier callbacks, so rebuilding an advisor against
+    the same registry stays idempotent.
+    """
+    pipeline = advisor.pipeline
+
+    def cache_samples():
+        samples = []
+        for shard, stats in sorted(pipeline._per_shard_stats().items()):
+            labels = {"shard": str(shard)}
+            for f in dataclasses.fields(type(stats)):
+                samples.append(
+                    Sample(
+                        f"repro_cache_{f.name}_total",
+                        labels,
+                        getattr(stats, f.name),
+                    )
+                )
+        return samples
+
+    registry.register_view(
+        "repro_cache",
+        cache_samples,
+        help="compilation-service cache counters, per shard",
+        kind="counter",
+    )
+
+    def stage_samples():
+        report = getattr(pipeline, "last_report", None)
+        if report is None:
+            return []
+        return [
+            Sample("repro_stage_seconds", {"stage": name}, wall)
+            for name, wall in sorted(report.stage_timings.items())
+        ]
+
+    registry.register_view(
+        "repro_stage_seconds",
+        stage_samples,
+        help="wall-clock of each pipeline stage in the last completed day",
+        kind="gauge",
+    )
+
+    def policy_samples():
+        info = advisor.policy.telemetry()
+        labels = {k: str(v) for k, v in sorted(info.items())}
+        return [Sample("repro_policy_info", labels, 1.0)]
+
+    registry.register_view(
+        "repro_policy_info",
+        policy_samples,
+        help="active steering policy identity (value is always 1)",
+        kind="gauge",
+    )
+
+    def hint_samples():
+        return [
+            Sample("repro_hint_version", {}, advisor.sis.current_version),
+        ]
+
+    registry.register_view(
+        "repro_hint_version",
+        hint_samples,
+        help="current published SIS hint version",
+        kind="gauge",
+    )
+
+
+#: shared disabled plane — the default wiring before an advisor installs one
+NULL_PLANE = ObservabilityPlane()

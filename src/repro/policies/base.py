@@ -112,6 +112,23 @@ class SteeringPolicy(abc.ABC):
     def event_log(self) -> list[LoggedEvent]:
         """Every finalized decision, for counterfactual evaluation."""
 
+    def telemetry(self) -> dict[str, object]:
+        """Identity of this policy for the observability plane.
+
+        Feeds the ``repro_policy_info`` metrics view and serving stats
+        deltas; override to expose extra policy-specific fields.  Reads
+        only already-published state — calling it never advances the
+        policy.
+        """
+        info: dict[str, object] = {
+            "policy": self.name,
+            "version": self.model_version,
+        }
+        mode = getattr(self, "mode", None)
+        if mode is not None:
+            info["mode"] = mode
+        return info
+
 
 @dataclass
 class PolicyVersion:

@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.config import CacheConfig
 from repro.errors import ScopeError
+from repro.obs.trace import NULL_TRACER
 from repro.scope.optimizer.rules.base import RuleConfiguration, RuleFlip
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -382,6 +383,7 @@ class FragmentCache:
         *,
         trans_mask: int | None = None,
         impl_mask: int | None = None,
+        tracer=None,
     ) -> "FragmentView":
         """A per-compile facade with the key context baked in.
 
@@ -399,6 +401,7 @@ class FragmentCache:
             lock,
             trans_mask=trans_mask,
             impl_mask=impl_mask,
+            tracer=tracer,
         )
 
     def get(self, key: tuple) -> object | None:
@@ -561,6 +564,7 @@ class FragmentView:
         *,
         trans_mask: int | None = None,
         impl_mask: int | None = None,
+        tracer=None,
     ) -> None:
         self._cache = cache
         self._trans_bits = (
@@ -572,6 +576,7 @@ class FragmentView:
         self._size = config.size
         self._catalog_version = catalog_version
         self._lock = lock
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def key(self, digest: bytes) -> tuple:
         """The migration-portable key (generation deliberately excluded)."""
@@ -582,7 +587,12 @@ class FragmentView:
 
     def get(self, digest: bytes):
         with self._lock:
-            return self._cache.get(self._full_key(digest))
+            entry = self._cache.get(self._full_key(digest))
+        if self._tracer.enabled:
+            # observational only: the hit/miss *counters* moved (or not)
+            # inside the store; this just annotates the current trace span
+            self._tracer.event("fragment_lookup", hit=entry is not None)
+        return entry
 
     def put(self, digest: bytes, entry: object, *, prefetch: bool = False) -> None:
         with self._lock:
@@ -672,6 +682,11 @@ class CompilationService:
         # and the in-flight table; optimization itself runs outside it
         self._lock = threading.RLock()
         self._in_flight: dict[tuple, _InFlightCompile] = {}
+        #: tracer for compile/optimize spans and fragment-lookup events
+        #: (null by default; ``ScopeEngine.install_obs`` swaps it in).
+        #: Spans are observational only — no CacheStats counter, and
+        #: nothing a fingerprint covers, ever moves because of tracing
+        self.tracer = NULL_TRACER
 
     @property
     def enabled(self) -> bool:
@@ -825,6 +840,7 @@ class CompilationService:
             self._lock,
             trans_mask=self._trans_mask,
             impl_mask=self._impl_mask,
+            tracer=self.tracer,
         )
 
     def preexplore_batch(
@@ -850,6 +866,11 @@ class CompilationService:
 
         planner = BatchPlanner()
         planner.add_batch(self, requests)
+        if self.tracer.enabled:
+            with self.tracer.child_span("mqo_preexplore") as span:
+                explored = planner.preexplore(executor)
+                span.set(fragments=explored)
+                return explored
         return planner.preexplore(executor)
 
     def compile_many(
@@ -876,8 +897,12 @@ class CompilationService:
         if executor is None or len(ordered) <= 1:
             entries = [self._lookup_or_compile(*unique[key]) for key in ordered]
         else:
-            entries = executor.map_jobs(
-                lambda key: self._lookup_or_compile(*unique[key]), ordered
+            # propagate (not create) the caller's span, so per-compile
+            # child spans parent identically at any worker count
+            entries = executor.map_jobs_propagated(
+                lambda key: self._lookup_or_compile(*unique[key]),
+                ordered,
+                tracer=self.tracer,
             )
         by_key = dict(zip(ordered, entries))
         return [
@@ -1006,6 +1031,17 @@ class CompilationService:
     def _lookup_or_compile(
         self, script: str, config: RuleConfiguration
     ) -> _CacheEntry:
+        if self.tracer.enabled:
+            # child_span: only callers already inside a trace (a traced
+            # production job, a serving steer) produce a span — untraced
+            # fan-outs (span probes, recompile flips) stay invisible
+            with self.tracer.child_span("compile"):
+                return self._lookup_or_compile_impl(script, config)
+        return self._lookup_or_compile_impl(script, config)
+
+    def _lookup_or_compile_impl(
+        self, script: str, config: RuleConfiguration
+    ) -> _CacheEntry:
         if not self.config.enabled:
             # the ablation contract is "every compile re-optimizes", so
             # concurrent identical requests are deliberately NOT coalesced —
@@ -1057,7 +1093,11 @@ class CompilationService:
             # the expensive part — cascades search — runs outside the lock,
             # so distinct keys optimize concurrently; fragment store access
             # re-takes the lock per lookup inside the view
-            result = self.engine.optimize(compiled, config, fragments=view)
+            if self.tracer.enabled:
+                with self.tracer.child_span("optimize"):
+                    result = self.engine.optimize(compiled, config, fragments=view)
+            else:
+                result = self.engine.optimize(compiled, config, fragments=view)
         except ScopeError as exc:
             return _CacheEntry(error=exc)
         with self._lock:

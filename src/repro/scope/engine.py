@@ -69,6 +69,17 @@ class ScopeEngine:
         #: memoizing compile front-end — every ``compile_job`` goes through
         #: its plan cache; SIS bumps its generation on hint installation
         self.compilation = CompilationService(self, self.config.cache)
+        #: observability plane (null by default; ``install_obs`` swaps it)
+        from repro.obs.plane import NULL_PLANE
+
+        self.obs = NULL_PLANE
+
+    def install_obs(self, plane) -> None:
+        """Wire an observability plane into this engine's compile/execute
+        paths.  Purely observational: spans and events never touch the
+        cache counters or anything a fingerprint covers."""
+        self.obs = plane
+        self.compilation.tracer = plane.tracer
 
     # -- cluster protocol ----------------------------------------------------
 
@@ -191,5 +202,10 @@ class ScopeEngine:
     ) -> JobRun:
         """Compile, optimize and execute a job end to end."""
         result = self.compile_job(job, flip, use_hints=use_hints)
-        metrics = self.execute(result, job.run_key(attempt))
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.child_span("execute", job_id=job.job_id):
+                metrics = self.execute(result, job.run_key(attempt))
+        else:
+            metrics = self.execute(result, job.run_key(attempt))
         return JobRun(job=job, result=result, metrics=metrics)

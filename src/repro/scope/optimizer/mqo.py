@@ -170,7 +170,13 @@ class BatchPlanner:
             if executor is None or len(wave) <= 1:
                 outcomes = [self._explore_one(task) for task in wave]
             else:
-                outcomes = executor.map_jobs(self._explore_one, wave)
+                # propagate the caller's span (the mqo_preexplore span)
+                # so fragment-lookup events land identically at any
+                # worker count; all registered services share one plane,
+                # so the first task's tracer stands for the batch
+                outcomes = executor.map_jobs_propagated(
+                    self._explore_one, wave, tracer=wave[0].service.tracer
+                )
             explored += sum(outcomes)
         return explored
 

@@ -29,6 +29,7 @@ from repro.core.pipeline import DayReport, QOAdvisorPipeline, StageContext
 from repro.scope.cache import CacheStats, CompileRequest
 from repro.scope.telemetry.view import WorkloadView, build_view_row
 from repro.serving.queues import JobTicket
+from repro.serving.stats import WindowSummary
 from repro.sis.service import SISService
 
 __all__ = ["MaintenanceScheduler"]
@@ -77,6 +78,9 @@ class MaintenanceScheduler:
         self._window_lock = threading.Lock()
         self.windows = 0
         self.publications = 0
+        #: summary of the last completed window (None before the first);
+        #: operator telemetry, never part of any fingerprint
+        self.last_window: WindowSummary | None = None
 
     def open_day(self, day: int) -> None:
         """Snapshot the delta base the first time a day appears.
@@ -129,58 +133,103 @@ class MaintenanceScheduler:
         broadcasts the plan-cache invalidation in one step, so a steering
         worker either sees the old hint file or the new one, never a mix.
         """
+        obs = self.pipeline.obs
         with self._window_lock:
-            if self.on_window_start is not None:
-                self.on_window_start(day)
-            with self._lock:
-                accumulator = self._days.pop(day, None)
-            if accumulator is None:
-                cache_before, shards_before = self.pipeline.snapshot_stats()
-                accumulator = _DayAccumulator(day, cache_before, shards_before)
-
-            report = self.pipeline.open_report(day)
-            report.stage_timings["production"] = accumulator.busy_s
-            view = WorkloadView(day=day)
-            jobs_by_id = {}
-            started = time.perf_counter()
-            for seq in sorted(accumulator.tickets):
-                ticket = accumulator.tickets[seq]
-                if ticket.failed or ticket.run is None:
-                    report.failed_jobs.append(ticket.job.job_id)
-                    continue
-                run = ticket.run
-                report.production_runs.append(run)
-                view.add(build_view_row(run.job, run.result, run.metrics))
-                jobs_by_id[run.job.job_id] = run.job
-            report.view = view
-            report.stage_timings["production"] += time.perf_counter() - started
-            ctx = StageContext(day=day, report=report, jobs_by_id=jobs_by_id)
-            # the post-production epoch barrier, at the same point batch
-            # run_day places it (right after the production stage).  Note
-            # the strict byte-parity contract assumes no compile is in
-            # flight at the barrier (the drained schedules); jobs admitted
-            # *during* the window stay correct, but their interleaving
-            # with checkpoint eviction is schedule-shaped.
-            self.pipeline.engine.compilation.checkpoint()
-            # batch MQO over the micro-batch: the hint publication that
-            # closed the previous window invalidated plans and fragments,
-            # so the window's recompile/span work re-derives join blocks —
-            # pre-explore the drained jobs' fragments once, bottom-up,
-            # before the stages fan out (plan-resident units are skipped
-            # by counter-free peeks, keeping serving/batch parity exact)
-            if jobs_by_id:
-                self.pipeline.engine.compilation.preexplore_batch(
-                    [CompileRequest(job) for job in jobs_by_id.values()],
-                    self.pipeline.executor,
-                )
-            for stage in self.pipeline.stages[1:]:
-                self.pipeline.run_stage(stage, ctx)
-            self.pipeline.finalize_report(
-                report, accumulator.cache_before, accumulator.shards_before
+            started_wall = time.perf_counter()
+            if obs.tracer.enabled:
+                # the window's root span: trace id = the window id, stage
+                # spans parent under it via ``ctx.trace`` exactly like the
+                # batch "day" root
+                with obs.tracer.span("window", trace_id=f"window:{day}", day=day) as root:
+                    report = self._drain_window(day, trace=root)
+                    root.set(
+                        hint_version=report.hint_version,
+                        jobs=len(report.production_runs),
+                        failed=len(report.failed_jobs),
+                    )
+            else:
+                report = self._drain_window(day)
+            wall_s = time.perf_counter() - started_wall
+            self.last_window = WindowSummary(
+                day=day,
+                wall_s=wall_s,
+                jobs=len(report.production_runs),
+                failed=len(report.failed_jobs),
+                hint_version=report.hint_version,
             )
-            self.windows += 1
-            if report.hint_version is not None:
-                self.publications += 1
-                if self.on_publish is not None:
-                    self.on_publish(report)
+            if obs.enabled:
+                obs.bus.publish(
+                    "window",
+                    {
+                        "day": day,
+                        "wall_s": wall_s,
+                        "jobs": len(report.production_runs),
+                        "failed": len(report.failed_jobs),
+                        "hint_version": report.hint_version,
+                        "windows": self.windows,
+                        "publications": self.publications,
+                    },
+                )
             return report
+
+    def _drain_window(self, day: int, trace: object | None = None) -> DayReport:
+        """The window body: drain, run the offline stages, finalize.
+
+        Runs under ``_window_lock``; ``trace`` is the window's root span
+        (None when observability is off), handed to the stage contexts so
+        stage spans parent under it.
+        """
+        if self.on_window_start is not None:
+            self.on_window_start(day)
+        with self._lock:
+            accumulator = self._days.pop(day, None)
+        if accumulator is None:
+            cache_before, shards_before = self.pipeline.snapshot_stats()
+            accumulator = _DayAccumulator(day, cache_before, shards_before)
+
+        report = self.pipeline.open_report(day)
+        report.stage_timings["production"] = accumulator.busy_s
+        view = WorkloadView(day=day)
+        jobs_by_id = {}
+        started = time.perf_counter()
+        for seq in sorted(accumulator.tickets):
+            ticket = accumulator.tickets[seq]
+            if ticket.failed or ticket.run is None:
+                report.failed_jobs.append(ticket.job.job_id)
+                continue
+            run = ticket.run
+            report.production_runs.append(run)
+            view.add(build_view_row(run.job, run.result, run.metrics))
+            jobs_by_id[run.job.job_id] = run.job
+        report.view = view
+        report.stage_timings["production"] += time.perf_counter() - started
+        ctx = StageContext(day=day, report=report, jobs_by_id=jobs_by_id, trace=trace)
+        # the post-production epoch barrier, at the same point batch
+        # run_day places it (right after the production stage).  Note
+        # the strict byte-parity contract assumes no compile is in
+        # flight at the barrier (the drained schedules); jobs admitted
+        # *during* the window stay correct, but their interleaving
+        # with checkpoint eviction is schedule-shaped.
+        self.pipeline.engine.compilation.checkpoint()
+        # batch MQO over the micro-batch: the hint publication that
+        # closed the previous window invalidated plans and fragments,
+        # so the window's recompile/span work re-derives join blocks —
+        # pre-explore the drained jobs' fragments once, bottom-up,
+        # before the stages fan out (plan-resident units are skipped
+        # by counter-free peeks, keeping serving/batch parity exact)
+        if jobs_by_id:
+            self.pipeline.engine.compilation.preexplore_batch(
+                [CompileRequest(job) for job in jobs_by_id.values()],
+                self.pipeline.executor,
+            )
+        for stage in self.pipeline.stages[1:]:
+            self.pipeline.run_stage(stage, ctx)
+        self.pipeline.finalize_report(
+            report, accumulator.cache_before, accumulator.shards_before
+        )
+        self.windows += 1
+        if report.hint_version is not None:
+            self.publications += 1
+            if self.on_publish is not None:
+                self.on_publish(report)
+        return report

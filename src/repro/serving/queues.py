@@ -64,6 +64,11 @@ class JobTicket:
     shed: bool = False
     #: shards that already failed while holding this ticket
     excluded_shards: set[int] = field(default_factory=set)
+    #: the ticket's root trace span (an :class:`repro.obs.trace.Span`),
+    #: opened at admission and finished at the ticket's terminal point;
+    #: None when observability is disabled.  Untyped on purpose: the queue
+    #: layer must not import the obs package.
+    trace: object | None = None
 
     @property
     def done(self) -> bool:

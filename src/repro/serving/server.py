@@ -66,12 +66,13 @@ from repro.config import ServingConfig, SimulationConfig
 from repro.core.advisor import QOAdvisor
 from repro.core.pipeline import DayReport
 from repro.errors import ScopeError
+from repro.obs.metrics import Sample
 from repro.scope.engine import JobRun, ScopeEngine
 from repro.scope.jobs import JobInstance
 from repro.serving.journal import JournalError, RecoveryReport, TicketJournal
 from repro.serving.maintenance import MaintenanceScheduler
 from repro.serving.queues import JobTicket, QueueClosed, ShardQueue
-from repro.serving.stats import ServerStats, ShardStats, percentile
+from repro.serving.stats import LatencyRing, ServerStats, ShardStats, percentile
 from repro.sharding import ShardedScopeCluster, ShardRouter
 
 __all__ = ["QOAdvisorServer"]
@@ -81,7 +82,12 @@ class _ShardLane:
     """One shard's serving lane: queue + engine + workers + counters."""
 
     def __init__(
-        self, index: int, engine: ScopeEngine, queue: ShardQueue, slo_window: int
+        self,
+        index: int,
+        engine: ScopeEngine,
+        queue: ShardQueue,
+        slo_window: int,
+        latency_window: int = 1024,
     ) -> None:
         self.index = index
         self.engine = engine
@@ -96,7 +102,11 @@ class _ShardLane:
         self.requeued = 0
         self.deferred = 0
         self.shed = 0
-        self.compile_samples: list[float] = []
+        #: bounded recent compile latencies (percentile source); a lifetime
+        #: list here would grow without bound on a long-lived server
+        self.compile_latency = LatencyRing(max(1, latency_window))
+        #: completions since the lane's last stats-bus delta
+        self.bus_pending = 0
         #: rolling window the SLO p95 is computed over
         self.slo_samples: deque[float] = deque(maxlen=max(1, slo_window))
         #: low-priority tickets parked until the lane's p95 recovers
@@ -149,12 +159,17 @@ class QOAdvisorServer:
         else:
             self.router = ShardRouter(1)
             shard_engines = [engine]
+        #: the advisor's observability plane (the shared null plane when
+        #: ``ObsConfig.enabled`` is off) — serving spans, bus deltas and
+        #: the serving metric views all hang off it
+        self.obs = advisor.obs
         self._lanes = [
             _ShardLane(
                 index,
                 shard_engine,
                 ShardQueue(self.serving.queue_capacity, self.serving.admission),
                 self.serving.slo_window,
+                self.serving.latency_window,
             )
             for index, shard_engine in enumerate(shard_engines)
         ]
@@ -190,6 +205,7 @@ class QOAdvisorServer:
         self._failover_lock = threading.Lock()
         self._first_submit_at: float | None = None
         self._last_done_at: float | None = None
+        self._install_serving_views()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -307,6 +323,19 @@ class QOAdvisorServer:
             self._seq += 1
             seq = self._seq
         ticket = JobTicket(seq=seq, job=job, day=job.day, shard=0)
+        if self.obs.tracer.enabled:
+            # the ticket's root span: one per admitted job, finished at the
+            # ticket's terminal point (_process, shed, or requeue failure).
+            # The trace id embeds the submission seq so resubmissions of
+            # the same job id stay distinct traces.
+            ticket.trace = self.obs.tracer.start(
+                "job",
+                trace_id=f"job:{job.job_id}#{seq}",
+                job_id=job.job_id,
+                template=job.template_id,
+                day=job.day,
+                seq=seq,
+            )
         with self._done:
             self._pending += 1
         if self._first_submit_at is None:
@@ -326,7 +355,14 @@ class QOAdvisorServer:
             with self._done:
                 self._pending -= 1
                 self._done.notify_all()
+            if ticket.trace is not None:
+                # a rejected submission is not an admitted job; close its
+                # root so no trace leaks open
+                ticket.trace.set(rejected=True)
+                self.obs.tracer.finish(ticket.trace, error=True)
             raise
+        if ticket.trace is not None:
+            ticket.trace.event("admit", shard=ticket.shard)
         with self._seq_lock:
             self._admitted += 1
         if self._recovering or (self._started and self.serving.workers_per_shard == 0):
@@ -351,6 +387,9 @@ class QOAdvisorServer:
         if self.serving.slo_policy == "shed":
             ticket.shed = True
             ticket.failed = True
+            if ticket.trace is not None:
+                ticket.trace.set(shard=shard, shed=True)
+                self.obs.tracer.finish(ticket.trace, error=True)
             with lane.lock:
                 lane.shed += 1
             self._journal(
@@ -369,6 +408,8 @@ class QOAdvisorServer:
                 self._done.notify_all()
             return lane
         ticket.deferred += 1
+        if ticket.trace is not None:
+            ticket.trace.event("defer", shard=shard)
         with self._seq_lock:
             self._admitted += 1
         self._journal_admit(ticket)
@@ -567,13 +608,26 @@ class QOAdvisorServer:
         stamps the ticket with the SIS version it compiled against.
         """
         job = ticket.job
+        tracer = self.obs.tracer
+        traced = tracer.enabled and ticket.trace is not None
         hint_version = self.sis.current_version
         steered = self.sis.lookup(job.template_id) is not None
         started = time.perf_counter()
         try:
-            result = lane.engine.compile_job(job)
-            compile_s = time.perf_counter() - started
-            metrics = lane.engine.execute(result, job.run_key(0))
+            if traced:
+                # "steer" wraps the hint-steered compile (its wall-clock is
+                # the lane's steer latency) and pushes onto this worker's
+                # span stack, so the compilation service's compile/optimize
+                # child spans parent under it; "execute" covers the runtime
+                with tracer.span("steer", parent=ticket.trace, shard=lane.index):
+                    result = lane.engine.compile_job(job)
+                compile_s = time.perf_counter() - started
+                with tracer.span("execute", parent=ticket.trace):
+                    metrics = lane.engine.execute(result, job.run_key(0))
+            else:
+                result = lane.engine.compile_job(job)
+                compile_s = time.perf_counter() - started
+                metrics = lane.engine.execute(result, job.run_key(0))
             ticket.run = JobRun(job=job, result=result, metrics=metrics)
         except ScopeError:
             ticket.failed = True
@@ -590,9 +644,16 @@ class QOAdvisorServer:
                 lane.completed += 1
                 if ticket.steered:
                     lane.steered += 1
-            lane.compile_samples.append(compile_s)
             lane.slo_samples.append(compile_s)
             lane.last_hint_version = hint_version
+        lane.compile_latency.append(compile_s)
+        if traced:
+            ticket.trace.set(
+                steered=ticket.steered,
+                hint_version=hint_version,
+                compile_s=compile_s,
+            )
+            tracer.finish(ticket.trace, error=ticket.failed)
         self.scheduler.record(ticket)
         self._journal(
             {
@@ -606,6 +667,8 @@ class QOAdvisorServer:
             self._pending -= 1
             self._last_done_at = time.perf_counter()
             self._done.notify_all()
+        if self.obs.enabled:
+            self._publish_lane_delta(lane)
         if lane.standby and lane.alive:
             self._flush_standby(lane)
 
@@ -682,6 +745,10 @@ class QOAdvisorServer:
                     exclude.add(target_index)
                     continue
                 ticket.shard = target_index
+                if ticket.trace is not None:
+                    ticket.trace.event(
+                        "requeue", from_shard=from_lane.index, to_shard=target_index
+                    )
                 with target.lock:
                     target.submitted += 1
                 placed = True
@@ -690,6 +757,10 @@ class QOAdvisorServer:
                     self._drain_lane_inline(target)
             if not placed:
                 ticket.failed = True
+                if ticket.trace is not None:
+                    # terminal: nowhere left to run the job — close its root
+                    ticket.trace.set(requeue_exhausted=True)
+                    self.obs.tracer.finish(ticket.trace, error=True)
                 with from_lane.lock:
                     from_lane.failed += 1
                 self.scheduler.record(ticket)
@@ -737,6 +808,7 @@ class QOAdvisorServer:
                 cluster.shards[slot],
                 ShardQueue(self.serving.queue_capacity, self.serving.admission),
                 self.serving.slo_window,
+                self.serving.latency_window,
             )
             moves = self._moves(online={slot})
             self._migrate_entries(moves)
@@ -1073,14 +1145,155 @@ class QOAdvisorServer:
 
     # -- health --------------------------------------------------------------
 
+    def _publish_lane_delta(self, lane: _ShardLane) -> None:
+        """Push one lane's incremental counter update onto the stats bus.
+
+        Called after each completion; throttled to every
+        ``ObsConfig.stats_publish_every`` completions per lane.  The event
+        carries cumulative counters (plus the bus-stamped ``seq``), so a
+        subscriber that dropped events under backpressure re-synchronizes
+        from the next one it sees.
+        """
+        every = max(1, self.obs.config.stats_publish_every)
+        with lane.lock:
+            lane.bus_pending += 1
+            if lane.bus_pending < every:
+                return
+            lane.bus_pending = 0
+            delta = {
+                "shard": lane.index,
+                "alive": lane.alive,
+                "submitted": lane.submitted,
+                "completed": lane.completed,
+                "failed": lane.failed,
+                "steered": lane.steered,
+                "requeued": lane.requeued,
+                "deferred": lane.deferred,
+                "shed": lane.shed,
+                "standby_depth": len(lane.standby),
+                "last_hint_version": lane.last_hint_version,
+            }
+        delta["queue_depth"] = lane.queue.depth
+        self.obs.bus.publish("shard", delta)
+
+    def _install_serving_views(self) -> None:
+        """Register the serving layer's pull-mode metric views.
+
+        The lane counters stay the single source of truth; the registry
+        reads them at collect/exposition time.  Registration is by name,
+        so a recovered or rebuilt server replaces the previous server's
+        views instead of double-reporting.
+        """
+        if not self.obs.enabled:
+            return
+        registry = self.obs.metrics
+
+        def lane_samples():
+            samples = []
+            for lane in list(self._lanes):
+                labels = {"shard": str(lane.index)}
+                with lane.lock:
+                    counters = {
+                        "submitted": lane.submitted,
+                        "completed": lane.completed,
+                        "failed": lane.failed,
+                        "steered": lane.steered,
+                        "requeued": lane.requeued,
+                        "deferred": lane.deferred,
+                        "shed": lane.shed,
+                    }
+                    standby = len(lane.standby)
+                for name, value in counters.items():
+                    samples.append(
+                        Sample(f"repro_serving_{name}_total", labels, value)
+                    )
+                samples.append(
+                    Sample("repro_serving_queue_depth", labels, lane.queue.depth)
+                )
+                samples.append(
+                    Sample(
+                        "repro_serving_queue_depth_max",
+                        labels,
+                        lane.queue.max_depth,
+                    )
+                )
+                samples.append(
+                    Sample("repro_serving_standby_depth", labels, standby)
+                )
+            return samples
+
+        registry.register_view(
+            "repro_serving_lanes",
+            lane_samples,
+            help="per-shard serving lane counters and queue depths",
+            kind="counter",
+        )
+
+        def latency_samples():
+            samples = []
+            for lane in list(self._lanes):
+                labels = {"shard": str(lane.index)}
+                window = lane.compile_latency.snapshot()
+                for q in (50, 95, 99):
+                    value = percentile(window, q)
+                    if value is not None:
+                        samples.append(
+                            Sample(
+                                "repro_serving_compile_latency_seconds",
+                                {**labels, "quantile": f"0.{q}"},
+                                value,
+                            )
+                        )
+                samples.append(
+                    Sample(
+                        "repro_serving_compile_observations_total",
+                        labels,
+                        lane.compile_latency.total,
+                    )
+                )
+            return samples
+
+        registry.register_view(
+            "repro_serving_latency",
+            latency_samples,
+            help="per-shard compile latency percentiles over the bounded "
+            "recent window (absent until a lane has samples)",
+            kind="gauge",
+        )
+
+        def server_samples():
+            with self._seq_lock:
+                admitted = self._admitted
+            with self._done:
+                pending = self._pending
+            return [
+                Sample("repro_serving_jobs_admitted_total", {}, admitted),
+                Sample("repro_serving_jobs_in_flight", {}, pending),
+                Sample(
+                    "repro_serving_windows_total", {}, self.scheduler.windows
+                ),
+                Sample(
+                    "repro_serving_publications_total",
+                    {},
+                    self.scheduler.publications,
+                ),
+            ]
+
+        registry.register_view(
+            "repro_serving_server",
+            server_samples,
+            help="whole-server serving totals",
+            kind="counter",
+        )
+
     def stats(self) -> ServerStats:
         """An immutable health/throughput snapshot across every lane."""
         current_version = self.sis.current_version
         shards: list[ShardStats] = []
         completed = failed = steered_total = deferred_total = shed_total = 0
         for lane in self._lanes:
+            samples = lane.compile_latency.snapshot()
             with lane.lock:
-                samples = list(lane.compile_samples)
                 last = lane.last_hint_version
                 frag = getattr(lane.engine.compilation, "stats", None)
                 shards.append(
@@ -1100,6 +1313,8 @@ class QOAdvisorServer:
                         shed=lane.shed,
                         compile_p50_s=percentile(samples, 50),
                         compile_p95_s=percentile(samples, 95),
+                        compile_p99_s=percentile(samples, 99),
+                        compile_observations=lane.compile_latency.total,
                         last_hint_version=last,
                         hint_version_skew=(
                             max(current_version - last, 0)
@@ -1142,4 +1357,5 @@ class QOAdvisorServer:
             publications=self.scheduler.publications,
             policy_name=self.advisor.policy.name,
             policy_version=self.advisor.policy.model_version,
+            last_window=self.scheduler.last_window,
         )

@@ -21,9 +21,11 @@ maximally behind).
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["ShardStats", "ServerStats", "percentile"]
+__all__ = ["LatencyRing", "ShardStats", "ServerStats", "WindowSummary", "percentile"]
 
 
 def percentile(samples: list[float], q: float) -> float | None:
@@ -38,6 +40,68 @@ def percentile(samples: list[float], q: float) -> float | None:
     ordered = sorted(samples)
     rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
     return ordered[int(rank)]
+
+
+class LatencyRing:
+    """Fixed-size ring of latency samples with a lifetime observation count.
+
+    Replaces the unbounded per-lane ``compile_samples`` list: a long-lived
+    server observes millions of compiles, but the percentile snapshot only
+    ever needs the most recent window.  ``total`` keeps the lifetime count
+    so operators can still tell how much history the window summarizes.
+    Thread-safe; ``snapshot()`` returns a copy so percentile math runs
+    outside the lock.
+    """
+
+    __slots__ = ("_samples", "_lock", "total")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"latency window must be >= 1, got {capacity}")
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: lifetime observations (including ones the ring has since evicted)
+        self.total = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._samples.maxlen or 0
+
+    def append(self, sample: float) -> None:
+        with self._lock:
+            self._samples.append(sample)
+            self.total += 1
+
+    def snapshot(self) -> list[float]:
+        """The retained window, oldest first (a copy)."""
+        with self._lock:
+            return list(self._samples)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """What the last completed maintenance window did.
+
+    A compact operator answer to "when did maintenance last run and what
+    did it ship" without walking the full report history: the day it
+    drained, its wall-clock, how many production runs it processed, and
+    the hint version it published (None when validation held the release
+    back — a window that publishes nothing is still a completed window).
+    """
+
+    day: int
+    #: wall-clock seconds the window took, open to publish
+    wall_s: float
+    #: production runs drained through the window's stages
+    jobs: int
+    #: failed jobs the window accounted for
+    failed: int
+    #: hint-file version the window published; None when it did not publish
+    hint_version: int | None
 
 
 @dataclass(frozen=True)
@@ -71,6 +135,10 @@ class ShardStats:
     #: None until the lane has at least one sample
     compile_p50_s: float | None = None
     compile_p95_s: float | None = None
+    compile_p99_s: float | None = None
+    #: lifetime compile observations (the percentiles above summarize only
+    #: the lane's bounded recent window; this is how much history exists)
+    compile_observations: int = 0
     #: SIS hint-file version of the lane's most recent compile (None: none yet)
     last_hint_version: int | None = None
     #: current SIS version minus ``last_hint_version`` — a lane serving
@@ -134,6 +202,8 @@ class ServerStats:
     #: excluded from fingerprints like every other schedule-shaped field
     policy_name: str = ""
     policy_version: int = 0
+    #: summary of the last completed maintenance window (None before one)
+    last_window: WindowSummary | None = None
 
     @property
     def steer_rate(self) -> float:
@@ -152,6 +222,17 @@ class ServerStats:
             f"{self.maintenance_windows} window(s) / {self.publications} publication(s), "
             f"policy {self.policy_name or '-'} v{self.policy_version}"
         ]
+        if self.last_window is not None:
+            window = self.last_window
+            published = (
+                f"published v{window.hint_version}"
+                if window.hint_version is not None
+                else "no publication"
+            )
+            lines.append(
+                f"  last window: day {window.day}, {window.wall_s * 1e3:.1f}ms, "
+                f"{window.jobs} job(s) ({window.failed} failed), {published}"
+            )
         for shard in self.shards:
             state = "up" if shard.alive else ("RETIRED" if shard.retired else "FAILED")
             version = (
@@ -161,10 +242,12 @@ class ServerStats:
             )
             latency = (
                 f"compile p50 {shard.compile_p50_s * 1e3:.1f}ms "
-                f"p95 {shard.compile_p95_s * 1e3:.1f}ms"
+                f"p95 {shard.compile_p95_s * 1e3:.1f}ms "
+                f"p99 {shard.compile_p99_s * 1e3:.1f}ms"
                 if shard.compile_p50_s is not None
                 and shard.compile_p95_s is not None
-                else "compile p50/p95 n/a"
+                and shard.compile_p99_s is not None
+                else "compile p50/p95/p99 n/a"
             )
             lines.append(
                 f"  shard {shard.shard} [{state}]: "

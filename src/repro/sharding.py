@@ -49,6 +49,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.config import SimulationConfig
+from repro.obs.trace import NULL_TRACER
 from repro.rng import stable_hash
 from repro.scope.cache import CacheStats, CompileRequest
 from repro.scope.engine import JobRun, ScopeEngine
@@ -200,6 +201,9 @@ class ShardedCompilationService:
 
     def __init__(self, cluster: "ShardedScopeCluster") -> None:
         self.cluster = cluster
+        #: tracer for routing events and the batch fan-out span (null by
+        #: default; ``ShardedScopeCluster.install_obs`` swaps it)
+        self.tracer = NULL_TRACER
 
     @property
     def stats(self) -> CacheStats:
@@ -241,7 +245,11 @@ class ShardedCompilationService:
         *,
         use_hints: bool = True,
     ) -> "OptimizationResult":
-        service = self.cluster.engine_for(job).compilation
+        shard = self.cluster.router.shard_for_job(job)
+        if self.tracer.enabled:
+            # annotate the current trace with the routing decision
+            self.tracer.event("route", shard=shard)
+        service = self.cluster.shards[shard].compilation
         return service.compile_job(job, flip, use_hints=use_hints)
 
     def compile_script(
@@ -284,6 +292,11 @@ class ShardedCompilationService:
         planner = BatchPlanner()
         for shard in sorted(by_shard):
             planner.add_batch(self.cluster.shards[shard].compilation, by_shard[shard])
+        if self.tracer.enabled:
+            with self.tracer.child_span("mqo_preexplore") as span:
+                explored = planner.preexplore(executor)
+                span.set(fragments=explored)
+                return explored
         return planner.preexplore(executor)
 
     def compile_many(
@@ -304,6 +317,16 @@ class ShardedCompilationService:
         fragments are pre-explored across all shards first.
         """
         ordered = list(requests)
+        if self.tracer.enabled:
+            with self.tracer.child_span("shard_fanout", requests=len(ordered)):
+                return self._compile_many_impl(ordered, executor)
+        return self._compile_many_impl(ordered, executor)
+
+    def _compile_many_impl(
+        self,
+        ordered: "list[CompileRequest]",
+        executor: "Executor | None" = None,
+    ) -> "list[OptimizationResult | ScopeError]":
         self.preexplore_batch(ordered, executor)
         by_shard: dict[int, list[int]] = {}
         for position, request in enumerate(ordered):
@@ -325,7 +348,11 @@ class ShardedCompilationService:
         if executor is None or len(units) <= 1:
             outcomes = [compile_unit(unit) for unit in units]
         else:
-            outcomes = executor.map_jobs(compile_unit, units)
+            # propagate the caller's span so per-compile child spans
+            # parent identically at any worker count
+            outcomes = executor.map_jobs_propagated(
+                compile_unit, units, tracer=self.tracer
+            )
         by_unit = {
             (shard, key): outcome
             for (shard, key, _), outcome in zip(units, outcomes)
@@ -391,6 +418,18 @@ class ShardedScopeCluster:
             workload.attach_replica(replica)
             self.shards.append(ScopeEngine(replica, self.config, self.registry))
         self.compilation = ShardedCompilationService(self)
+        from repro.obs.plane import NULL_PLANE
+
+        #: observability plane (null by default; ``install_obs`` swaps it).
+        #: New engines built by provision/rejoin inherit it automatically
+        self.obs = NULL_PLANE
+
+    def install_obs(self, plane) -> None:
+        """Wire an observability plane into every shard's compile path."""
+        self.obs = plane
+        self.compilation.tracer = plane.tracer
+        for shard in self.shards:
+            shard.install_obs(plane)
 
     def close(self) -> None:
         """Detach the shard catalog replicas from the workload (idempotent).
@@ -419,6 +458,7 @@ class ShardedScopeCluster:
         self.workload.attach_replica(replica)
         engine = ScopeEngine(replica, self.config, self.registry)
         engine.hint_provider = self.shards[0].hint_provider
+        engine.install_obs(self.obs)
         self.shards.append(engine)
         return slot
 
@@ -474,6 +514,7 @@ class ShardedScopeCluster:
             self.workload.attach_replica(replica)
             engine = ScopeEngine(replica, self.config, self.registry)
             engine.hint_provider = self.shards[0].hint_provider
+            engine.install_obs(self.obs)
             self.shards[slot] = engine
             self._detached.discard(slot)
         return self.shards[slot]
