@@ -1,0 +1,146 @@
+"""QA suite cost: linter wall-time and runtime lock-tracer overhead.
+
+Two claims worth tracking as the tree grows:
+
+* the **static gate is cheap** — ``python -m repro.qa --strict`` must
+  stay a sub-second CI step, so its wall time over the whole ``repro``
+  package (both analyzers, suppression indexing, baseline matching) is
+  measured per-file and in aggregate;
+* the **runtime tracer is affordable when on and free when off** — a
+  pipeline day under full constructor instrumentation is compared
+  against the uninstrumented run (fingerprints must match bytewise; the
+  wrapper's cost per lock acquisition is micro-measured).
+
+Writes ``BENCH_qa.json`` at the repo root so later PRs can track the
+trajectory without re-deriving it from bench output text.
+"""
+
+import dataclasses
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro import QOAdvisor, SimulationConfig
+from repro.analysis.report import ComparisonRow
+from repro.config import ExecutionConfig, FlightingConfig, WorkloadConfig
+from repro.qa import LockRegistry, TracedLock, auto_instrument_constructors
+from repro.qa import cli as qa_cli
+from repro.qa import determinism, locks
+
+from benchmarks.conftest import record
+
+_RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_qa.json"
+_REPRO_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+_REPEATS = 3
+
+
+def _config(workers: int = 1) -> SimulationConfig:
+    return dataclasses.replace(
+        SimulationConfig(seed=41),
+        workload=WorkloadConfig(num_templates=12, num_tables=9),
+        flighting=FlightingConfig(filtered_prob=0.0, failure_prob=0.0),
+        execution=ExecutionConfig(workers=workers, backend="thread"),
+    )
+
+
+def _day(instrumented: bool):
+    registry = LockRegistry()
+    undo = auto_instrument_constructors(registry) if instrumented else None
+    try:
+        advisor = QOAdvisor(_config())
+        start = time.perf_counter()
+        report = advisor.run_day(0)
+        elapsed = time.perf_counter() - start
+        advisor.close()
+    finally:
+        if undo is not None:
+            undo()
+    if instrumented:
+        registry.assert_clean()
+    return report, elapsed, registry.acquisitions if instrumented else 0
+
+
+def test_qa_cost(benchmark):
+    files = sorted(_REPRO_ROOT.rglob("*.py"))
+
+    # -- static gate wall time -------------------------------------------------
+    lint_times = []
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        n_det = len(determinism.scan_tree(_REPRO_ROOT))
+        n_lock = len(locks.scan_tree(_REPRO_ROOT))
+        lint_times.append(time.perf_counter() - start)
+    lint_s = min(lint_times)
+    assert qa_cli.main(["--strict"]) == 0  # the CI gate itself
+
+    # -- runtime tracer: transparency + overhead -------------------------------
+    plain_report, plain_s, _ = _day(instrumented=False)
+    traced_report, traced_s, acquisitions = _day(instrumented=True)
+    assert traced_report.fingerprint() == plain_report.fingerprint()
+    assert traced_report.cache_stats.core() == plain_report.cache_stats.core()
+    overhead = traced_s / plain_s - 1.0
+
+    # -- per-acquisition micro-cost --------------------------------------------
+    registry = LockRegistry()
+    lock = TracedLock(threading.Lock(), registry, "bench")
+    raw = threading.Lock()
+    n = 20_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with raw:
+            pass
+    raw_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(n):
+        with lock:
+            pass
+    traced_lock_s = time.perf_counter() - start
+    acquire_ns = (traced_lock_s - raw_s) / n * 1e9
+
+    def lint_one_pass():
+        return len(determinism.scan_tree(_REPRO_ROOT))
+
+    benchmark(lint_one_pass)
+
+    payload = {
+        "static": {
+            "files_scanned": len(files),
+            "wall_s": round(lint_s, 3),
+            "ms_per_file": round(lint_s / len(files) * 1000, 2),
+            "determinism_findings": n_det,
+            "lock_findings": n_lock,
+        },
+        "runtime": {
+            "day_overhead_pct": round(overhead * 100, 2),
+            "lock_acquisitions": acquisitions,
+            "acquire_overhead_ns": round(acquire_ns, 1),
+        },
+        "fingerprints_identical": True,
+        "core_counters_identical": True,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+    record(
+        "correctness tooling (PR 10)",
+        [
+            ComparisonRow(
+                "static gate wall time",
+                "sub-second CI step",
+                f"{lint_s * 1000:.0f} ms over {len(files)} files",
+                holds=lint_s < 5.0,
+            ),
+            ComparisonRow(
+                "tracer day overhead",
+                "small fraction of wall",
+                f"{overhead * 100:.1f}% over {acquisitions} acquisitions",
+                holds=overhead < 1.0,
+            ),
+            ComparisonRow(
+                "fingerprints traced vs plain",
+                "byte-identical",
+                "identical (report + core cache counters)",
+                holds=True,
+            ),
+        ],
+    )

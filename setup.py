@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="qo-advisor-repro",
-    version="1.9.0",
+    version="1.10.0",
     description=(
         "Reproduction of 'Deploying a Steered Query Optimizer in Production "
         "at Microsoft' (SIGMOD 2022)"

@@ -555,7 +555,7 @@ class QOAdvisorPipeline:
         serving maintenance window.
         """
         if stage.should_run(ctx):
-            started = time.perf_counter()
+            started = time.perf_counter()  # qa: wallclock-ok stage_timings is fingerprint-excluded telemetry
             if self.obs.tracer.enabled:
                 with self.obs.tracer.span(
                     f"stage:{stage.name}", parent=ctx.trace, day=ctx.day
@@ -563,7 +563,7 @@ class QOAdvisorPipeline:
                     stage.run(ctx)
             else:
                 stage.run(ctx)
-            wall = time.perf_counter() - started
+            wall = time.perf_counter() - started  # qa: wallclock-ok stage_timings is fingerprint-excluded telemetry
             ctx.report.stage_timings[stage.name] = wall
             self._stage_hist.labels(stage=stage.name).observe(wall)
         self.engine.compilation.checkpoint()

@@ -93,8 +93,11 @@ class SpanComputer:
 
         for _ in range(self.max_iterations):
             config = engine.default_config
-            flips = [r for r in off_by_default - disabled if not config.is_enabled(r)]
-            flips += [r for r in disabled if config.is_enabled(r)]
+            # sorted: the flip fold is order-insensitive (each id toggles a
+            # distinct bit) but iterating the raw sets would tie the list
+            # order to set internals rather than to rule ids
+            flips = [r for r in sorted(off_by_default - disabled) if not config.is_enabled(r)]
+            flips += [r for r in sorted(disabled) if config.is_enabled(r)]
             config = config.with_flips(flips)
             try:
                 result = service.compile_script(script, config)

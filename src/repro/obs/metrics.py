@@ -119,7 +119,7 @@ class _Family:
                 f"got {tuple(sorted(labels))}"
             )
         key = tuple(str(labels[name]) for name in self.label_names)
-        child = self._children.get(key)
+        child = self._children.get(key)  # qa: unlocked-ok double-checked fast path; miss re-verifies under the lock below
         if child is None:
             with self._lock:
                 child = self._children.get(key)
@@ -151,7 +151,7 @@ class _CounterChild:
 
     @property
     def value(self) -> float:
-        return self._value
+        return self._value  # qa: unlocked-ok GIL-atomic float read; telemetry scrape tolerates a stale sample
 
 
 class Counter(_Family):
@@ -194,7 +194,7 @@ class _GaugeChild:
 
     @property
     def value(self) -> float:
-        return self._value
+        return self._value  # qa: unlocked-ok GIL-atomic float read; telemetry scrape tolerates a stale sample
 
 
 class Gauge(_Family):

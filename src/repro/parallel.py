@@ -49,6 +49,20 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: QA hook (:mod:`repro.qa.lockgraph`): callables invoked right before a
+#: fan-out actually dispatches to other threads/processes.  A registered
+#: lock tracer uses this to flag locks held across ``map_jobs`` — the
+#: coordinating thread blocking on workers while holding a lock the
+#: workers may need is the classic self-deadlock this codebase's
+#: "coordinator-only fan-out" rule exists to prevent.  Empty (zero
+#: overhead beyond a truthiness check) unless instrumentation is on.
+_MAP_JOBS_WATCHERS: list[Callable[[str], None]] = []
+
+
+def _notify_map_jobs(backend: str) -> None:
+    for watcher in _MAP_JOBS_WATCHERS:
+        watcher(backend)
+
 
 class Executor(ABC):
     """Order-preserving map over independent per-job units of work."""
@@ -165,6 +179,8 @@ class ThreadedExecutor(Executor):
         if len(work) <= 1:
             # nothing to overlap: skip the pool round-trip
             return [fn(item) for item in work]
+        if _MAP_JOBS_WATCHERS:
+            _notify_map_jobs("thread")
         if self._pool is None:
             self._pool = _PoolImpl(
                 max_workers=self.workers, thread_name_prefix="repro-exec"
@@ -236,6 +252,8 @@ class ProcessExecutor(Executor):
         work = list(items)
         if len(work) <= 1 or self.workers == 1 or not self.forked:
             return [fn(item) for item in work]
+        if _MAP_JOBS_WATCHERS:
+            _notify_map_jobs("process")
         ctx = multiprocessing.get_context("fork")
         stride = min(self.workers, len(work))
         children = []

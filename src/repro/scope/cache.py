@@ -740,13 +740,13 @@ class CompilationService:
         request in a batch and the same templates recur daily, which made
         this the hottest hash call in ``compile_many``.
         """
-        digest = self._digests.get(script)
+        digest = self._digests.get(script)  # qa: unlocked-ok pure-function memo; racing recompute writes identical bytes
         if digest is None:
             digest = PlanCache.script_hash(script)
-            self._digests[script] = digest
+            self._digests[script] = digest  # qa: unlocked-ok pure-function memo; racing recompute writes identical bytes
         return digest
 
-    def _sync_catalog_version(self) -> None:
+    def _sync_catalog_version_locked(self) -> None:
         """Drop entries made unreachable by a catalog mutation.
 
         Keys bake in the catalog version, so old-version entries can never
@@ -813,7 +813,7 @@ class CompilationService:
         counters (they are part of the fingerprint contract) or recency.
         """
         with self._lock:
-            self._sync_catalog_version()
+            self._sync_catalog_version_locked()
             return self.cache.peek(self._key_for(script, config))
 
     def peek_result(
@@ -828,7 +828,7 @@ class CompilationService:
         ``None``: there is no plan to featurize.
         """
         with self._lock:
-            self._sync_catalog_version()
+            self._sync_catalog_version_locked()
             entry = self.cache.peek_entry(self._key_for(script, config))
             return entry.result if entry is not None else None
 
@@ -943,7 +943,7 @@ class CompilationService:
         scripts that stay behind.
         """
         with self._lock:
-            self._sync_catalog_version()
+            self._sync_catalog_version_locked()
             digest = self._script_digest(script)
             plans = self.cache.extract(digest)
             skey = (digest, self.engine.catalog.version)
@@ -981,7 +981,7 @@ class CompilationService:
         adopted = 0
         rejected: dict[tuple, _CacheEntry] = {}
         with self._lock:
-            self._sync_catalog_version()
+            self._sync_catalog_version_locked()
             version = self.engine.catalog.version
             for key, entry in plans.items():
                 if key[-1] == version and self.cache.adopt(key, entry):
@@ -1049,7 +1049,7 @@ class CompilationService:
             return self._compile(script, config)
         while True:
             with self._lock:
-                self._sync_catalog_version()
+                self._sync_catalog_version_locked()
                 key = self._key_for(script, config)
                 entry = self.cache.get(key)
                 if entry is not None:
@@ -1120,7 +1120,7 @@ class CompilationService:
         ``(last_epoch, key)`` order as the plan cache.
         """
         with self._lock:
-            self._sync_catalog_version()
+            self._sync_catalog_version_locked()
             # binding captures TableDef objects (row counts) into Get
             # operators, so the parse/bind memo is catalog-versioned too
             key = (self._script_digest(script), self.engine.catalog.version)

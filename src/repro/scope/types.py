@@ -94,7 +94,7 @@ class Schema:
         return self._columns == other._columns
 
     def __hash__(self) -> int:
-        return hash(self._columns)
+        return hash(self._columns)  # qa: hash-ok in-process dict/set membership only, pairs with __eq__; persisted keys use blake2b digests
 
     def __repr__(self) -> str:
         inner = ", ".join(str(col) for col in self._columns)

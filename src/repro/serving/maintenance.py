@@ -135,7 +135,7 @@ class MaintenanceScheduler:
         """
         obs = self.pipeline.obs
         with self._window_lock:
-            started_wall = time.perf_counter()
+            started_wall = time.perf_counter()  # qa: wallclock-ok window wall-time is telemetry, fingerprint-excluded
             if obs.tracer.enabled:
                 # the window's root span: trace id = the window id, stage
                 # spans parent under it via ``ctx.trace`` exactly like the
@@ -149,7 +149,7 @@ class MaintenanceScheduler:
                     )
             else:
                 report = self._drain_window(day)
-            wall_s = time.perf_counter() - started_wall
+            wall_s = time.perf_counter() - started_wall  # qa: wallclock-ok window wall-time is telemetry, fingerprint-excluded
             self.last_window = WindowSummary(
                 day=day,
                 wall_s=wall_s,
@@ -191,7 +191,7 @@ class MaintenanceScheduler:
         report.stage_timings["production"] = accumulator.busy_s
         view = WorkloadView(day=day)
         jobs_by_id = {}
-        started = time.perf_counter()
+        started = time.perf_counter()  # qa: wallclock-ok stage_timings is fingerprint-excluded telemetry
         for seq in sorted(accumulator.tickets):
             ticket = accumulator.tickets[seq]
             if ticket.failed or ticket.run is None:
@@ -202,7 +202,7 @@ class MaintenanceScheduler:
             view.add(build_view_row(run.job, run.result, run.metrics))
             jobs_by_id[run.job.job_id] = run.job
         report.view = view
-        report.stage_timings["production"] += time.perf_counter() - started
+        report.stage_timings["production"] += time.perf_counter() - started  # qa: wallclock-ok stage_timings is fingerprint-excluded telemetry
         ctx = StageContext(day=day, report=report, jobs_by_id=jobs_by_id, trace=trace)
         # the post-production epoch barrier, at the same point batch
         # run_day places it (right after the production stage).  Note

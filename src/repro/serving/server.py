@@ -339,7 +339,7 @@ class QOAdvisorServer:
         with self._done:
             self._pending += 1
         if self._first_submit_at is None:
-            self._first_submit_at = time.perf_counter()
+            self._first_submit_at = time.perf_counter()  # qa: wallclock-ok throughput telemetry only, never in fingerprints
         lane = self._slo_gate(ticket)
         if lane is not None:  # deferred or shed; never reached the queue
             return ticket
@@ -612,7 +612,7 @@ class QOAdvisorServer:
         traced = tracer.enabled and ticket.trace is not None
         hint_version = self.sis.current_version
         steered = self.sis.lookup(job.template_id) is not None
-        started = time.perf_counter()
+        started = time.perf_counter()  # qa: wallclock-ok compile latency feeds SLO stats, fingerprint-excluded
         try:
             if traced:
                 # "steer" wraps the hint-steered compile (its wall-clock is
@@ -621,17 +621,17 @@ class QOAdvisorServer:
                 # child spans parent under it; "execute" covers the runtime
                 with tracer.span("steer", parent=ticket.trace, shard=lane.index):
                     result = lane.engine.compile_job(job)
-                compile_s = time.perf_counter() - started
+                compile_s = time.perf_counter() - started  # qa: wallclock-ok compile latency feeds SLO stats, fingerprint-excluded
                 with tracer.span("execute", parent=ticket.trace):
                     metrics = lane.engine.execute(result, job.run_key(0))
             else:
                 result = lane.engine.compile_job(job)
-                compile_s = time.perf_counter() - started
+                compile_s = time.perf_counter() - started  # qa: wallclock-ok compile latency feeds SLO stats, fingerprint-excluded
                 metrics = lane.engine.execute(result, job.run_key(0))
             ticket.run = JobRun(job=job, result=result, metrics=metrics)
         except ScopeError:
             ticket.failed = True
-            compile_s = time.perf_counter() - started
+            compile_s = time.perf_counter() - started  # qa: wallclock-ok compile latency feeds SLO stats, fingerprint-excluded
         ticket.compile_s = compile_s
         ticket.hint_version = hint_version
         ticket.steered = steered and not ticket.failed
@@ -665,7 +665,7 @@ class QOAdvisorServer:
         )
         with self._done:
             self._pending -= 1
-            self._last_done_at = time.perf_counter()
+            self._last_done_at = time.perf_counter()  # qa: wallclock-ok throughput telemetry only, never in fingerprints
             self._done.notify_all()
         if self.obs.enabled:
             self._publish_lane_delta(lane)
@@ -1030,7 +1030,7 @@ class QOAdvisorServer:
         """
         if self.journal is None:
             raise ValueError("recover() needs a journal (journal=... or journal_path)")
-        if self._started or self._seq or self.scheduler.windows:
+        if self._started or self._seq or self.scheduler.windows:  # qa: unlocked-ok fresh-server precondition; recover() is single-threaded by contract
             raise RuntimeError(
                 "recover() must run on a fresh server, before start() or submit()"
             )
@@ -1334,8 +1334,8 @@ class QOAdvisorServer:
                 steered_total += lane.steered
                 deferred_total += lane.deferred
                 shed_total += lane.shed
-        if self._first_submit_at is not None and self._last_done_at is not None:
-            elapsed = max(self._last_done_at - self._first_submit_at, 1e-9)
+        if self._first_submit_at is not None and self._last_done_at is not None:  # qa: unlocked-ok stale throughput read is harmless telemetry
+            elapsed = max(self._last_done_at - self._first_submit_at, 1e-9)  # qa: unlocked-ok stale throughput read is harmless telemetry
             throughput = completed / elapsed
         else:
             throughput = 0.0

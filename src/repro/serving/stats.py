@@ -65,7 +65,7 @@ class LatencyRing:
 
     @property
     def capacity(self) -> int:
-        return self._samples.maxlen or 0
+        return self._samples.maxlen or 0  # qa: unlocked-ok maxlen is immutable after construction
 
     def append(self, sample: float) -> None:
         with self._lock:

@@ -1,6 +1,15 @@
-"""Shared fixtures: a small catalog, engine and workload."""
+"""Shared fixtures: a small catalog, engine and workload.
+
+Set ``REPRO_QA_LOCKS=1`` to run the whole suite under the runtime
+lock-order tracer (:mod:`repro.qa.lockgraph`): every lock-bearing object
+constructed during the session self-instruments, and the session fails
+at teardown on any lock-order cycle or fan-out hazard observed anywhere
+in the run.  Off by default — the toggle costs nothing when unset.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -11,6 +20,23 @@ from repro.scope.jobs import JobInstance
 from repro.scope.types import Column, DataType, Schema
 from repro.workload.generator import Workload, build_workload
 import dataclasses
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _qa_lock_tracing():
+    """Opt-in session-wide deadlock detection (``REPRO_QA_LOCKS=1``)."""
+    if os.environ.get("REPRO_QA_LOCKS") != "1":
+        yield
+        return
+    from repro.qa import LockRegistry, auto_instrument_constructors
+
+    registry = LockRegistry()
+    undo = auto_instrument_constructors(registry)
+    try:
+        yield
+    finally:
+        undo()
+    registry.assert_clean()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,6 @@
+"""Seeded-violation fixtures for the repro.qa analyzers.
+
+Each ``det_*`` / ``lock_*`` / ``sup_*`` module plants exactly the
+violations its test expects (rule ID and line number asserted exactly).
+These modules are linted as *text*, never imported by the test suite.
+"""

@@ -1,0 +1,11 @@
+"""Fixture: builtin hash() feeding keys/ordering (QA-DET-HASH)."""
+
+
+def route(template_id: str, shards: list) -> object:
+    return shards[hash(template_id) % len(shards)]  # line 5: flagged
+
+
+def safe(template_id: str) -> int:
+    from repro.rng import stable_hash
+
+    return stable_hash(template_id)  # clean: the blessed helper

@@ -1,0 +1,9 @@
+"""Fixture: id() feeding ordering (QA-DET-ID)."""
+
+
+def order(nodes: list) -> list:
+    return sorted(nodes, key=lambda node: id(node))  # line 5: flagged
+
+
+def memo(nodes: list) -> dict:
+    return {id(node): node for node in nodes}  # clean: identity-dict key

@@ -1,0 +1,10 @@
+"""Fixture: RNG construction outside repro.rng (QA-DET-RNG)."""
+
+import random
+
+import numpy as np
+
+
+def sample() -> float:
+    rng = np.random.default_rng(7)  # line 9: flagged
+    return rng.random() + random.random()  # line 10: flagged

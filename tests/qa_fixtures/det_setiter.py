@@ -1,0 +1,12 @@
+"""Fixture: unsorted set iteration into ordered accumulation (QA-DET-SETITER)."""
+
+
+def collect(ids: set) -> list:
+    out = []
+    for rule_id in ids:  # line 6: flagged — order leaks into the list
+        out.append(rule_id)
+    return out
+
+
+def folded(ids: set) -> int:
+    return sum(ids)  # clean: order-insensitive consumer

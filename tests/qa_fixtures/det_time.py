@@ -1,0 +1,11 @@
+"""Fixture: wall-clock read outside the telemetry allowlist (QA-DET-TIME)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # line 7: flagged
+
+
+def allowed() -> float:
+    return time.perf_counter()  # qa: wallclock-ok fixture demonstrating suppression

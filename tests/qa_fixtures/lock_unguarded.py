@@ -1,0 +1,19 @@
+"""Fixture: guarded attribute accessed outside its lock (QA-LOCK-UNGUARDED)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # clean: __init__ is pre-publication
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1  # establishes _count as guarded
+
+    def peek(self) -> int:
+        return self._count  # line 16: flagged — read outside self._lock
+
+    def peek_locked(self) -> int:
+        return self._count  # clean: *_locked caller-holds-lock convention

@@ -1,0 +1,5 @@
+"""Fixture: suppression without a reason (QA-SUP-BARE) suppresses nothing."""
+
+
+def route(template_id: str, shards: list) -> object:
+    return shards[hash(template_id) % len(shards)]  # qa: hash-ok

@@ -1,0 +1,5 @@
+"""Fixture: unknown suppression tag (QA-SUP-UNKNOWN)."""
+
+
+def stamp(value: int) -> int:
+    return value  # qa: totally-fine because I said so
